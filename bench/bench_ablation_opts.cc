@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Ablations of Hermes' design choices (paper §3.3 optimizations plus the
+ * design properties §3.1 credits for its performance):
+ *
+ *  O1  skip-VAL-on-conflict .... VAL messages saved under contention
+ *  O2  virtual node ids ........ conflict-win fairness across nodes
+ *  O3  ACK broadcasting ........ stalled-read latency under skew
+ *  inter-key concurrency ....... throughput of concurrent independent
+ *                                writes vs a serialized ablation
+ *  mlt calibration ............. spurious replays vs recovery latency
+ */
+
+#include "bench_util.hh"
+#include "hermes/replica.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace
+{
+
+app::DriverResult
+runHermes(const proto::HermesConfig &hermes_config,
+          const app::DriverConfig &driver_config, double loss = 0.0)
+{
+    app::ClusterConfig cluster_config =
+        standardCluster(app::Protocol::Hermes, 5);
+    cluster_config.replica.hermesConfig = hermes_config;
+    app::SimCluster cluster(cluster_config);
+    cluster.start();
+    if (loss > 0)
+        cluster.runtime().network().setLossProbability(loss);
+    app::DriverConfig config = driver_config;
+    app::LoadDriver driver(cluster, config);
+    app::DriverResult result = driver.run();
+    // Aggregate protocol counters for the ablation report.
+    uint64_t vals_skipped = 0, replays = 0, retransmits = 0;
+    uint64_t stalled = 0;
+    for (NodeId n = 0; n < 5; ++n) {
+        const proto::HermesStats &stats =
+            cluster.replica(n).hermes()->stats();
+        vals_skipped += stats.valsSkipped;
+        replays += stats.replaysStarted;
+        retransmits += stats.invRetransmits;
+        stalled += stats.readsStalled;
+    }
+    std::printf("    [valsSkipped=%llu replays=%llu retransmits=%llu "
+                "readsStalled=%llu]\n",
+                (unsigned long long)vals_skipped,
+                (unsigned long long)replays,
+                (unsigned long long)retransmits,
+                (unsigned long long)stalled);
+    return result;
+}
+
+void
+ablationO1()
+{
+    printHeader("O1: skip VAL broadcasts on conflicted writes "
+                "[zipf 0.99, 50% writes]");
+    for (bool on : {true, false}) {
+        proto::HermesConfig hermes_config;
+        hermes_config.skipValOnConflict = on;
+        app::DriverConfig driver = standardDriver(0.5, 0.99, 32);
+        driver.workload.numKeys = 64; // heavy same-key contention
+        driver.measure = 2_ms;
+        std::printf("  O1=%s:\n", on ? "on " : "off");
+        app::DriverResult result = runHermes(hermes_config, driver);
+        std::printf("    throughput %.1f MReq/s\n", result.throughputMops);
+    }
+}
+
+void
+ablationO2()
+{
+    printHeader("O2: virtual node ids -> conflict-win fairness "
+                "[3 nodes, same-key conflicts]");
+    for (unsigned vids : {1u, 8u}) {
+        app::ClusterConfig cluster_config =
+            standardCluster(app::Protocol::Hermes, 3);
+        cluster_config.cost.netJitterNs = 0;
+        cluster_config.replica.hermesConfig.virtualIdsPerNode = vids;
+        app::SimCluster cluster(cluster_config);
+        cluster.start();
+        int wins[3] = {0, 0, 0};
+        for (int round = 0; round < 200; ++round) {
+            Key key = 5000 + round;
+            cluster.write(0, key, "n0", [] {});
+            cluster.write(1, key, "n1", [] {});
+            cluster.write(2, key, "n2", [] {});
+            cluster.runFor(3_ms);
+            Value winner = cluster.readSync(0, key).value_or("");
+            if (winner.size() == 2)
+                ++wins[winner[1] - '0'];
+        }
+        std::printf("  vids=%u: wins n0=%d n1=%d n2=%d\n", vids, wins[0],
+                    wins[1], wins[2]);
+    }
+}
+
+void
+ablationO3()
+{
+    printHeader("O3: ACK broadcast -> stalled-read latency "
+                "[zipf 0.99, 20% writes]");
+    for (bool on : {false, true}) {
+        proto::HermesConfig hermes_config;
+        hermes_config.ackBroadcast = on;
+        app::DriverConfig driver = standardDriver(0.2, 0.99, 32);
+        driver.workload.numKeys = 256;
+        driver.measure = 2_ms;
+        std::printf("  O3=%s:\n", on ? "on " : "off");
+        app::DriverResult result = runHermes(hermes_config, driver);
+        std::printf("    read p99 %.1f us, throughput %.1f MReq/s\n",
+                    result.readLatencyNs.p99() / 1e3,
+                    result.throughputMops);
+    }
+}
+
+void
+ablationInterKey()
+{
+    printHeader("Inter-key concurrency vs serialized writes "
+                "[uniform, 20% writes]");
+    for (bool concurrent : {true, false}) {
+        proto::HermesConfig hermes_config;
+        hermes_config.interKeyConcurrency = concurrent;
+        app::DriverConfig driver = standardDriver(0.2, 0.0, 32);
+        driver.measure = 2_ms;
+        std::printf("  inter-key=%s:\n", concurrent ? "on " : "off");
+        app::DriverResult result = runHermes(hermes_config, driver);
+        std::printf("    throughput %.1f MReq/s, write p99 %.1f us\n",
+                    result.throughputMops,
+                    result.writeLatencyNs.p99() / 1e3);
+    }
+}
+
+void
+ablationLscFree()
+{
+    printHeader("LSC-free reads (paper section 8): lease-free "
+                "linearizable reads vs leased local reads "
+                "[uniform, 5% writes]");
+    for (bool on : {false, true}) {
+        proto::HermesConfig hermes_config;
+        hermes_config.lscFreeReads = on;
+        app::DriverConfig driver = standardDriver(0.05, 0.0, 32);
+        driver.measure = 2_ms;
+        std::printf("  lscFree=%s:\n", on ? "on " : "off");
+        app::DriverResult result = runHermes(hermes_config, driver);
+        std::printf("    read med %.1f us / p99 %.1f us, throughput %.1f "
+                    "MReq/s\n",
+                    result.readLatencyNs.median() / 1e3,
+                    result.readLatencyNs.p99() / 1e3,
+                    result.throughputMops);
+    }
+}
+
+void
+ablationMlt()
+{
+    printHeader("mlt calibration under 2% message loss "
+                "[uniform, 20% writes]");
+    for (DurationNs mlt : {30_us, 100_us, 400_us, 2000_us}) {
+        proto::HermesConfig hermes_config;
+        hermes_config.mlt = mlt;
+        app::DriverConfig driver = standardDriver(0.2, 0.0, 16);
+        driver.measure = 3_ms;
+        std::printf("  mlt=%lluus:\n", (unsigned long long)(mlt / 1000));
+        app::DriverResult result = runHermes(hermes_config, driver, 0.02);
+        std::printf("    write p99 %.1f us, throughput %.1f MReq/s\n",
+                    result.writeLatencyNs.p99() / 1e3,
+                    result.throughputMops);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Hermes design-choice ablations (DESIGN.md section 4)\n");
+    ablationO1();
+    ablationO2();
+    ablationO3();
+    ablationInterKey();
+    ablationLscFree();
+    ablationMlt();
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Figure 1: the qualitative throughput/latency positioning of the
+ * membership-based protocols, regenerated quantitatively: one matched
+ * workload (5% writes, uniform, 5 nodes, fixed load), reporting each
+ * protocol's throughput and tail write latency — the two axes of the
+ * paper's quadrant picture (Hermes: high throughput AND low latency;
+ * CRAQ: high throughput, high latency; ZAB: neither).
+ */
+
+#include "bench_util.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    std::printf("Figure 1: protocol positioning "
+                "[5 nodes, 5%% writes, uniform, matched load]\n");
+    printHeader("throughput/latency plane");
+    printRow({"protocol", "MReq/s", "write-p99(us)", "quadrant"}, 16);
+    struct Point
+    {
+        const char *name;
+        double mops;
+        uint64_t p99;
+    };
+    std::vector<Point> points;
+    for (app::Protocol protocol :
+         {app::Protocol::Hermes, app::Protocol::Craq, app::Protocol::Zab}) {
+        app::DriverConfig driver = standardDriver(0.05, 0.0, 32);
+        app::DriverResult result = runPoint(protocol, 5, driver);
+        points.push_back({app::protocolName(protocol),
+                          result.throughputMops,
+                          result.writeLatencyNs.p99()});
+    }
+    double max_mops = 0;
+    uint64_t min_p99 = ~0ull;
+    for (const Point &p : points) {
+        max_mops = std::max(max_mops, p.mops);
+        min_p99 = std::min(min_p99, p.p99);
+    }
+    for (const Point &p : points) {
+        bool high_tput = p.mops > 0.6 * max_mops;
+        bool low_lat = p.p99 < 2 * min_p99;
+        std::string quadrant =
+            std::string(high_tput ? "high-tput" : "low-tput") + "/"
+            + (low_lat ? "low-lat" : "high-lat");
+        printRow({p.name, fmt(p.mops), fmtUs(p.p99), quadrant}, 16);
+    }
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 6: latency analysis on 5 nodes.
+ *  (a) median + 99th latency vs throughput at 5% writes (load sweep);
+ *  (b) read/write median + 99th vs write ratio, uniform;
+ *  (c) the same under Zipfian 0.99.
+ *
+ * Paper shape to reproduce: all medians are read-like and low; Hermes'
+ * write tail is a single round-trip and stays several times below
+ * CRAQ's O(n)-hop writes at matched load; under skew CRAQ's *read* tail
+ * degrades too (dirty reads pile onto the tail node), while Hermes reads
+ * only ever wait out one write.
+ */
+
+#include "bench_util.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+namespace
+{
+
+void
+latencyVsThroughput()
+{
+    printHeader("Figure 6a: latency vs throughput [uniform, 5% writes]");
+    printRow({"protocol", "sessions", "MReq/s", "med(us)", "p99(us)"});
+    for (app::Protocol protocol :
+         {app::Protocol::Hermes, app::Protocol::Craq, app::Protocol::Zab}) {
+        for (size_t sessions : {4, 8, 16, 32, 64, 128}) {
+            app::DriverConfig driver = standardDriver(0.05, 0.0, sessions);
+            driver.measure = 3_ms;
+            app::DriverResult result = runPoint(protocol, 5, driver);
+            Histogram all = result.readLatencyNs;
+            all.merge(result.writeLatencyNs);
+            printRow({app::protocolName(protocol), std::to_string(sessions),
+                      fmt(result.throughputMops), fmtUs(all.median()),
+                      fmtUs(all.p99())});
+        }
+    }
+}
+
+void
+latencyVsWriteRatio(const char *title, double zipf_theta)
+{
+    printHeader(title);
+    printRow({"write%", "protocol", "rd-med", "rd-p99", "wr-med", "wr-p99"},
+             12);
+    // "At the peak throughput of CRAQ": a fixed moderate load point.
+    constexpr size_t kSessions = 32;
+    for (double ratio : {0.01, 0.05, 0.20, 0.50, 0.75, 1.00}) {
+        for (app::Protocol protocol :
+             {app::Protocol::Hermes, app::Protocol::Craq}) {
+            app::DriverConfig driver =
+                standardDriver(ratio, zipf_theta, kSessions);
+            driver.measure = 3_ms;
+            app::DriverResult result = runPoint(protocol, 5, driver);
+            printRow({fmt(ratio * 100, 0), app::protocolName(protocol),
+                      fmtUs(result.readLatencyNs.median()),
+                      fmtUs(result.readLatencyNs.p99()),
+                      fmtUs(result.writeLatencyNs.median()),
+                      fmtUs(result.writeLatencyNs.p99())},
+                     12);
+        }
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 6: latency analysis (us) [5 nodes, 32B values]\n");
+    latencyVsThroughput();
+    latencyVsWriteRatio("Figure 6b: latency vs write ratio [uniform]", 0.0);
+    latencyVsWriteRatio("Figure 6c: latency vs write ratio [zipf 0.99]",
+                        0.99);
+    return 0;
+}

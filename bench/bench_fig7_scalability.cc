@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Figure 7: scalability with the replication degree (3, 5, 7 nodes) at
+ * 1% and 20% write ratios, uniform traffic.
+ *
+ * Paper shape to reproduce: Hermes scales near-linearly at 1% writes and
+ * keeps its lead at 20%; CRAQ's longer chain loads the tail (its 20%
+ * throughput degrades from 5 to 7 nodes); ZAB gains read capacity but
+ * its leader chokes at 20% writes as the replica count grows.
+ */
+
+#include "bench_util.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    std::printf("Figure 7: throughput (MReq/s) vs replication degree "
+                "[uniform, 32B values]\n");
+    for (double ratio : {0.01, 0.20}) {
+        printHeader(("write ratio " + fmt(ratio * 100, 0) + "%").c_str());
+        printRow({"protocol", "3 nodes", "5 nodes", "7 nodes"});
+        for (app::Protocol protocol :
+             {app::Protocol::Hermes, app::Protocol::Craq,
+              app::Protocol::Zab}) {
+            std::vector<std::string> row{app::protocolName(protocol)};
+            for (size_t nodes : {3, 5, 7}) {
+                app::DriverConfig driver = standardDriver(ratio);
+                row.push_back(
+                    fmt(runPoint(protocol, nodes, driver).throughputMops));
+            }
+            printRow(row);
+        }
+    }
+    return 0;
+}

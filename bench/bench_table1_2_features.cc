@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tables 1 and 2 of the paper: the feature matrix of high-performance
+ * replication and the read/write feature comparison of the evaluated
+ * systems, generated from each protocol's machine-readable traits (so
+ * the table cannot drift from the implementations).
+ */
+
+#include "bench_util.hh"
+
+using namespace hermes;
+using namespace hermes::bench;
+
+int
+main()
+{
+    printHeader("Table 1: features for high-performance replication");
+    std::printf("Reads : local + load-balanced (any replica, no "
+                "inter-replica messages)\nWrites: decentralized + "
+                "inter-key concurrent + fast (min round-trips)\n");
+    printRow({"system", "local reads", "decentral.", "inter-key", "fast"},
+             13);
+    for (app::Protocol protocol : app::allProtocols()) {
+        const app::ProtocolTraits &traits = app::traitsOf(protocol);
+        bool fast_writes = std::string(traits.writeLatency) == "1 RTT";
+        printRow({traits.name, traits.localReads ? "yes" : "no",
+                  traits.decentralizedWrites ? "yes" : "no",
+                  std::string(traits.writeConcurrency) == "inter-key"
+                      ? "yes"
+                      : "no",
+                  fast_writes ? "yes (1 RTT)" : traits.writeLatency},
+                 13);
+    }
+
+    printHeader("Table 2: read/write features of the evaluated systems");
+    printRow({"System", "Leases", "Consistency", "Concurrency",
+              "Latency(RTT)", "Dec."},
+             13);
+    for (app::Protocol protocol : app::allProtocols()) {
+        const app::ProtocolTraits &traits = app::traitsOf(protocol);
+        printRow({traits.name, traits.leases, traits.consistency,
+                  traits.writeConcurrency, traits.writeLatency,
+                  traits.decentralizedWrites ? "yes" : "no"},
+                 13);
+    }
+    std::printf("\nRMW support: ");
+    for (app::Protocol protocol : app::allProtocols()) {
+        const app::ProtocolTraits &traits = app::traitsOf(protocol);
+        std::printf("%s=%s ", traits.name, traits.supportsRmw ? "yes" : "no");
+    }
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quickstart: spin up a simulated 5-replica Hermes deployment and use
+ * the client API — linearizable reads and writes from any replica, plus
+ * CAS RMWs.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "app/cluster.hh"
+
+using namespace hermes;
+
+int
+main()
+{
+    // 1. Configure a 5-replica Hermes cluster on the simulated fabric.
+    app::ClusterConfig config;
+    config.protocol = app::Protocol::Hermes;
+    config.nodes = 5;
+    app::SimCluster cluster(config);
+    cluster.start();
+    std::printf("started a %zu-replica HermesKV cluster\n",
+                cluster.numNodes());
+
+    // 2. Writes can be coordinated by ANY replica (decentralized).
+    cluster.writeSync(/*node=*/0, /*key=*/1, "hello");
+    cluster.writeSync(/*node=*/3, /*key=*/2, "world");
+
+    // 3. Reads are local at every replica and linearizable.
+    for (NodeId n = 0; n < 5; ++n) {
+        std::printf("replica %u reads: key1='%s' key2='%s'\n", n,
+                    cluster.readSync(n, 1).value_or("?").c_str(),
+                    cluster.readSync(n, 2).value_or("?").c_str());
+    }
+
+    // 4. Single-key RMWs: compare-and-swap, usable from any replica.
+    bool acquired = cluster.casSync(2, /*key=*/100, "", "owner-A")
+                        .value_or(false);
+    bool stolen = cluster.casSync(4, /*key=*/100, "", "owner-B")
+                      .value_or(false);
+    std::printf("CAS acquire by A: %s; concurrent steal by B: %s\n",
+                acquired ? "success" : "failed",
+                stolen ? "success" : "failed (as it must)");
+
+    // 5. Inspect protocol statistics.
+    const proto::HermesStats &stats = cluster.replica(0).hermes()->stats();
+    std::printf("replica 0: %llu reads, %llu writes committed, "
+                "%llu RMWs committed\n",
+                (unsigned long long)stats.readsCompleted,
+                (unsigned long long)stats.writesCommitted,
+                (unsigned long long)stats.rmwsCommitted);
+    std::printf("quickstart done.\n");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * A real-network deployment: 3 Hermes replicas on localhost TCP (Wings
+ * framing with opportunistic batching + credit flow control), serving
+ * external blocking clients — the library as an adoptable KV service.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "app/tcp_service.hh"
+
+using namespace hermes;
+
+int
+main()
+{
+    net::TcpConfig tcp;
+    tcp.basePort = 19750;
+    app::ReplicaOptions options;
+    options.maxValueSize = 256;
+    options.hermesConfig.mlt = 50_ms;
+    app::TcpKvService service(app::Protocol::Hermes, 3, options, tcp);
+    service.start();
+    std::printf("3 Hermes replicas listening on ports %u, %u, %u\n",
+                service.portOf(0), service.portOf(1), service.portOf(2));
+
+    app::KvClient alice(service.portOf(0));
+    app::KvClient bob(service.portOf(2));
+    if (!alice.connected() || !bob.connected()) {
+        std::printf("clients failed to connect\n");
+        return 1;
+    }
+
+    alice.write(1, "written-via-node-0");
+    std::printf("alice wrote key 1 at replica 0\n");
+    std::printf("bob reads key 1 at replica 2: '%s'\n",
+                bob.read(1).value_or("?").c_str());
+
+    bool locked = bob.cas(50, "", "bob").value_or(false);
+    bool contended = alice.cas(50, "", "alice").value_or(true);
+    std::printf("bob acquires lock: %s; alice's contending CAS: %s\n",
+                locked ? "yes" : "no", contended ? "yes?!" : "rejected");
+
+    // A quick closed-loop throughput probe over real sockets.
+    constexpr int kOps = 2000;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kOps; ++i)
+        alice.write(100 + i % 50, "payload-" + std::to_string(i));
+    auto elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    std::printf("%d sequential writes over TCP: %.0f ops/s "
+                "(%.0f us/op round trip)\n",
+                kOps, kOps / elapsed, elapsed / kOps * 1e6);
+    std::printf("final read-back: '%s'\n",
+                bob.read(100 + (kOps - 1) % 50).value_or("?").c_str());
+    service.stop();
+    std::printf("service stopped.\n");
+    return 0;
+}

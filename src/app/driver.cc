@@ -1,0 +1,184 @@
+#include "app/driver.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::app
+{
+
+struct LoadDriver::Session
+{
+    NodeId node = 0;
+    uint64_t id = 0;
+    Rng rng{0};
+    uint64_t nextTag = 0;
+    /** The op currently in flight (for history + pending-op flushing). */
+    HistOp current;
+    bool inFlight = false;
+};
+
+LoadDriver::LoadDriver(SimCluster &cluster, DriverConfig config)
+    : cluster_(cluster), config_(std::move(config)),
+      workload_(config_.workload)
+{
+}
+
+LoadDriver::~LoadDriver() = default;
+
+DriverResult
+LoadDriver::run()
+{
+    measureStart_ = cluster_.now() + config_.warmup;
+    measureEnd_ = measureStart_ + config_.measure;
+    if (config_.timelineBucket > 0) {
+        timeline_.assign((config_.warmup + config_.measure
+                          + config_.quiesceAfter)
+                                 / config_.timelineBucket
+                             + 2,
+                         0);
+    }
+
+    uint64_t seed_state = config_.seed;
+    size_t nodes = cluster_.numNodes();
+    for (size_t n = 0; n < nodes; ++n) {
+        for (size_t s = 0; s < config_.sessionsPerNode; ++s) {
+            auto session = std::make_unique<Session>();
+            session->node = static_cast<NodeId>(n);
+            session->id = n * config_.sessionsPerNode + s;
+            session->rng.reseed(splitmix64(seed_state));
+            sessions_.push_back(std::move(session));
+        }
+    }
+    // Stagger session starts so the first RTT is not one synchronized
+    // burst (the paper's clients are likewise uncoordinated).
+    Rng stagger(config_.seed ^ 0x57A66E5ull);
+    for (auto &session : sessions_) {
+        cluster_.runtime().events().scheduleAfter(
+            stagger.nextBounded(20'000),
+            [this, s = session.get()] { issueNext(*s); });
+    }
+
+    cluster_.runtime().runUntil(measureEnd_);
+    if (config_.quiesceAfter > 0) {
+        stopped_ = true;
+        cluster_.runtime().runUntil(measureEnd_ + config_.quiesceAfter);
+    }
+
+    // Flush in-flight updates as pending history entries: the checker may
+    // linearize them anywhere after their invocation or drop them
+    // (pending reads have no effect and are simply omitted).
+    if (config_.recordHistory) {
+        for (auto &session : sessions_) {
+            if (session->inFlight
+                    && session->current.kind != HistOp::Kind::Read) {
+                HistOp op = session->current;
+                op.response = kPendingResponse;
+                history_.add(std::move(op));
+            }
+        }
+    }
+
+    DriverResult result;
+    result.opsInWindow = opsInWindow_;
+    result.opsTotal = opsTotal_;
+    result.outstandingAtEnd = issued_ - opsTotal_;
+    result.throughputMops =
+        config_.measure > 0
+            ? static_cast<double>(opsInWindow_)
+                  / (static_cast<double>(config_.measure) / 1e9) / 1e6
+            : 0.0;
+    result.readLatencyNs = readLatency_;
+    result.writeLatencyNs = writeLatency_;
+    for (uint64_t count : timeline_) {
+        result.timelineMops.push_back(
+            static_cast<double>(count)
+            / (static_cast<double>(config_.timelineBucket) / 1e9) / 1e6);
+    }
+    result.history = std::move(history_);
+    return result;
+}
+
+void
+LoadDriver::issueNext(Session &session)
+{
+    if (stopped_)
+        return; // quiescing: in-flight ops finish, no new ones start
+    if (!cluster_.runtime().alive(session.node))
+        return; // the session's node crashed; the session dies with it
+    WorkloadOp op = workload_.next(session.rng);
+
+    session.current = HistOp{};
+    session.current.key = op.key;
+    session.current.invoke = cluster_.now();
+    session.inFlight = true;
+    ++issued_;
+
+    switch (op.kind) {
+      case WorkloadOp::Kind::Read:
+        session.current.kind = HistOp::Kind::Read;
+        cluster_.read(session.node, op.key,
+                      [this, &session](const Value &v) {
+                          session.current.result = v;
+                          complete(session);
+                      });
+        break;
+      case WorkloadOp::Kind::Write: {
+        session.current.kind = HistOp::Kind::Write;
+        uint64_t tag = (session.id << 32) | ++session.nextTag;
+        session.current.arg = workload_.makeValue(tag);
+        cluster_.write(session.node, op.key, session.current.arg,
+                       [this, &session] { complete(session); });
+        break;
+      }
+      case WorkloadOp::Kind::Cas: {
+        session.current.kind = HistOp::Kind::Cas;
+        uint64_t tag = (session.id << 32) | ++session.nextTag;
+        session.current.arg = workload_.makeValue(tag);
+        // Half the CASes expect the genesis value (they may win on fresh
+        // keys); the rest expect a random foreign value (they exercise
+        // the failure path). Both outcomes feed the checker.
+        if (session.rng.nextBool(0.5)) {
+            session.current.expected = Value{};
+        } else {
+            session.current.expected =
+                workload_.makeValue(session.rng.next());
+        }
+        cluster_.cas(session.node, op.key, session.current.expected,
+                     session.current.arg,
+                     [this, &session](bool applied, const Value &seen) {
+                         session.current.casApplied = applied;
+                         session.current.result = seen;
+                         complete(session);
+                     });
+        break;
+      }
+    }
+}
+
+void
+LoadDriver::complete(Session &session)
+{
+    HistOp op = std::move(session.current);
+    session.inFlight = false;
+    op.response = cluster_.now();
+    ++opsTotal_;
+
+    if (op.response >= measureStart_ && op.response < measureEnd_) {
+        ++opsInWindow_;
+        DurationNs latency = op.response - op.invoke;
+        if (op.kind == HistOp::Kind::Read)
+            readLatency_.record(latency);
+        else
+            writeLatency_.record(latency);
+    }
+    if (!timeline_.empty()) {
+        size_t bucket = op.response / config_.timelineBucket;
+        if (bucket < timeline_.size())
+            ++timeline_[bucket];
+    }
+    if (config_.recordHistory)
+        history_.add(std::move(op));
+
+    issueNext(session);
+}
+
+} // namespace hermes::app

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * LoadDriver: the closed-loop client load generator of every benchmark.
+ *
+ * The paper's testbed drives each node with worker threads multiplexing
+ * many client sessions. We model the same: `sessionsPerNode` sessions per
+ * replica, each issuing its next operation only after the previous one
+ * completed (which is also what gives every protocol its required session
+ * semantics — an SC protocol's read never overtakes the same session's
+ * uncommitted write). Total offered load is controlled by the session
+ * count; latency/throughput curves (Fig 6a) sweep it.
+ *
+ * The driver measures per-kind latency histograms and windowed
+ * throughput, can bucket completions over time (the Fig 9 failure
+ * timeline), and can record a complete invocation/response History for
+ * the linearizability checker.
+ */
+
+#ifndef HERMES_APP_DRIVER_HH
+#define HERMES_APP_DRIVER_HH
+
+#include <memory>
+#include <vector>
+
+#include "app/cluster.hh"
+#include "app/history.hh"
+#include "app/workload.hh"
+#include "common/histogram.hh"
+
+namespace hermes::app
+{
+
+/** Driver parameters. */
+struct DriverConfig
+{
+    WorkloadConfig workload{};
+    size_t sessionsPerNode = 40;
+    DurationNs warmup = 20_ms;
+    DurationNs measure = 100_ms;
+    /** Record every completed op for linearizability checking. */
+    bool recordHistory = false;
+    /**
+     * After the measurement window, stop issuing new operations and run
+     * the simulation this much longer so in-flight operations drain and
+     * the cluster quiesces — required before convergence checks. Ops
+     * still unfinished at the end are flushed as pending history entries.
+     */
+    DurationNs quiesceAfter = 0;
+    /** >0: count completions per bucket over the whole run (Fig 9). */
+    DurationNs timelineBucket = 0;
+    uint64_t seed = 42;
+};
+
+/** Measured outputs. */
+struct DriverResult
+{
+    /** Completed ops in the measurement window / window length. */
+    double throughputMops = 0.0;
+    uint64_t opsInWindow = 0;
+    uint64_t opsTotal = 0;
+    uint64_t outstandingAtEnd = 0;
+
+    Histogram readLatencyNs;
+    Histogram writeLatencyNs; ///< includes CAS updates
+
+    /** Completions per timelineBucket, in Mops, from t = 0. */
+    std::vector<double> timelineMops;
+
+    History history; ///< populated when recordHistory
+};
+
+/** Runs one workload against one cluster. Keep alive until the sim ends. */
+class LoadDriver
+{
+  public:
+    LoadDriver(SimCluster &cluster, DriverConfig config);
+    ~LoadDriver();
+
+    /**
+     * Launch all sessions, advance the simulation through warmup +
+     * measurement, and return the measurements. The cluster must already
+     * be start()ed; fault events may be scheduled on the runtime before
+     * calling run().
+     */
+    DriverResult run();
+
+  private:
+    struct Session;
+
+    void issueNext(Session &session);
+    void complete(Session &session);
+
+    SimCluster &cluster_;
+    DriverConfig config_;
+    Workload workload_;
+    std::vector<std::unique_ptr<Session>> sessions_;
+
+    TimeNs measureStart_ = 0;
+    TimeNs measureEnd_ = 0;
+    bool stopped_ = false;
+    uint64_t opsInWindow_ = 0;
+    uint64_t opsTotal_ = 0;
+    uint64_t issued_ = 0;
+    Histogram readLatency_;
+    Histogram writeLatency_;
+    std::vector<uint64_t> timeline_;
+    History history_;
+};
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_DRIVER_HH

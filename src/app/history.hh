@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Operation histories: complete invocation/response records of concurrent
+ * client operations, the input to the linearizability checker. This is
+ * the executable analogue of the paper's TLA+ safety verification.
+ */
+
+#ifndef HERMES_APP_HISTORY_HH
+#define HERMES_APP_HISTORY_HH
+
+#include <map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hermes::app
+{
+
+/** Response timestamp of an operation that never completed (e.g. its
+ *  node crashed mid-flight). Such an op may or may not have taken effect;
+ *  the checker is free to linearize it anywhere after its invocation or
+ *  to drop it entirely. */
+constexpr TimeNs kPendingResponse = ~TimeNs{0};
+
+/** One operation as the client observed it. */
+struct HistOp
+{
+    enum class Kind { Read, Write, Cas };
+
+    Kind kind = Kind::Read;
+    Key key = 0;
+    Value arg;        ///< write value / CAS desired value
+    Value expected;   ///< CAS expected value
+    Value result;     ///< read result / CAS observed value
+    bool casApplied = false;
+    TimeNs invoke = 0;
+    TimeNs response = 0;
+
+    bool isPending() const { return response == kPendingResponse; }
+};
+
+/** An append-only history; single-threaded recording (the sim is). */
+class History
+{
+  public:
+    void add(HistOp op) { ops_.push_back(std::move(op)); }
+
+    const std::vector<HistOp> &ops() const { return ops_; }
+    size_t size() const { return ops_.size(); }
+    bool empty() const { return ops_.empty(); }
+    void clear() { ops_.clear(); }
+
+    /** Partition by key (linearizability is compositional; paper §2.2). */
+    std::map<Key, std::vector<HistOp>> byKey() const;
+
+  private:
+    std::vector<HistOp> ops_;
+};
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_HISTORY_HH

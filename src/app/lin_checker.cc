@@ -1,0 +1,213 @@
+#include "app/lin_checker.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace hermes::app
+{
+
+std::map<Key, std::vector<HistOp>>
+History::byKey() const
+{
+    std::map<Key, std::vector<HistOp>> grouped;
+    for (const HistOp &op : ops_)
+        grouped[op.key].push_back(op);
+    return grouped;
+}
+
+namespace
+{
+
+/**
+ * DFS state of the WGL search over one key's sub-history.
+ */
+class KeySearch
+{
+  public:
+    KeySearch(std::vector<HistOp> ops, const Value &initial,
+              size_t state_budget)
+        : ops_(std::move(ops)), budget_(state_budget),
+          linearized_(ops_.size(), false), initial_(initial)
+    {
+        // Sorting by invocation lets the DFS stop scanning at the first
+        // op invoked after the earliest pending response (the minimal-op
+        // rule), which makes mostly-sequential histories near-linear.
+        std::sort(ops_.begin(), ops_.end(),
+                  [](const HistOp &a, const HistOp &b) {
+                      return a.invoke < b.invoke;
+                  });
+    }
+
+    LinResult
+    run()
+    {
+        size_t required = 0;
+        for (const HistOp &op : ops_)
+            required += !op.isPending();
+        if (required == 0)
+            return LinResult::Ok;
+        bool found = dfs(initial_, required);
+        if (exhausted_)
+            return LinResult::Inconclusive;
+        return found ? LinResult::Ok : LinResult::Violation;
+    }
+
+  private:
+    /** Can @p op linearize against @p value, and what value results? */
+    bool
+    apply(const HistOp &op, const Value &value, Value &next) const
+    {
+        if (op.isPending()) {
+            // An op with no observed response has a deterministic effect
+            // *if* it linearizes; no result needs to match.
+            switch (op.kind) {
+              case HistOp::Kind::Read:
+                next = value;
+                break;
+              case HistOp::Kind::Write:
+                next = op.arg;
+                break;
+              case HistOp::Kind::Cas:
+                next = value == op.expected ? op.arg : value;
+                break;
+            }
+            return true;
+        }
+        switch (op.kind) {
+          case HistOp::Kind::Read:
+            if (op.result != value)
+                return false;
+            next = value;
+            return true;
+          case HistOp::Kind::Write:
+            next = op.arg;
+            return true;
+          case HistOp::Kind::Cas:
+            if (op.casApplied) {
+                if (value != op.expected)
+                    return false;
+                next = op.arg;
+            } else {
+                // A failed CAS is a read that observed a non-matching
+                // value; it must have seen the current register content.
+                if (op.result != value || value == op.expected)
+                    return false;
+                next = value;
+            }
+            return true;
+        }
+        return false;
+    }
+
+    uint64_t
+    stateHash(const Value &value) const
+    {
+        // setHash_ is maintained incrementally (order-independent XOR of
+        // per-op mixes) as ops are linearized/backtracked.
+        uint64_t h = setHash_ ^ 0xcbf29ce484222325ull;
+        for (char c : value)
+            h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+        return h;
+    }
+
+    bool
+    dfs(const Value &value, size_t remaining)
+    {
+        if (remaining == 0)
+            return true;
+        if (visited_.size() >= budget_) {
+            exhausted_ = true;
+            return false;
+        }
+        if (!visited_.insert(stateHash(value)).second)
+            return false; // state already explored fruitlessly
+        // scanFrom_ may only stand past ops that are linearized in THIS
+        // branch; restore it when backtracking out of this frame.
+        size_t saved_scan_from = scanFrom_;
+
+        // Minimal-op rule: an op may linearize next only if no other
+        // unlinearized op completed before it was invoked. With ops
+        // sorted by invocation, the candidate window is a prefix starting
+        // at the first unlinearized op.
+        while (scanFrom_ < ops_.size() && linearized_[scanFrom_])
+            ++scanFrom_;
+        size_t scan_from = scanFrom_;
+
+        TimeNs min_response = ~TimeNs{0};
+        for (size_t i = scan_from; i < ops_.size(); ++i) {
+            if (!linearized_[i]) {
+                min_response = std::min(min_response, ops_[i].response);
+                if (ops_[i].invoke > min_response)
+                    break; // later ops can't lower the bound for earlier
+            }
+        }
+
+        for (size_t i = scan_from; i < ops_.size(); ++i) {
+            if (ops_[i].invoke > min_response)
+                break; // sorted by invoke: nothing further is a candidate
+            if (linearized_[i])
+                continue;
+            Value next;
+            if (!apply(ops_[i], value, next))
+                continue;
+            linearized_[i] = true;
+            setHash_ ^= mix64(i + 1);
+            size_t next_remaining =
+                remaining - (ops_[i].isPending() ? 0 : 1);
+            if (dfs(next, next_remaining))
+                return true;
+            linearized_[i] = false;
+            setHash_ ^= mix64(i + 1);
+            scanFrom_ = saved_scan_from;
+            if (exhausted_)
+                return false;
+        }
+        scanFrom_ = saved_scan_from;
+        return false;
+    }
+
+    std::vector<HistOp> ops_;
+    size_t budget_;
+    std::vector<bool> linearized_;
+    Value initial_;
+    std::unordered_set<uint64_t> visited_;
+    bool exhausted_ = false;
+    size_t scanFrom_ = 0;
+    uint64_t setHash_ = 0;
+};
+
+} // namespace
+
+LinResult
+checkKeyHistory(const std::vector<HistOp> &ops, const Value &initial,
+                size_t state_budget)
+{
+    KeySearch search(ops, initial, state_budget);
+    return search.run();
+}
+
+LinReport
+checkHistory(const History &history, size_t state_budget)
+{
+    LinReport report;
+    for (auto &[key, ops] : history.byKey()) {
+        LinResult result = checkKeyHistory(ops, {}, state_budget);
+        if (result == LinResult::Ok)
+            continue;
+        report.result = result;
+        report.offendingKey = key;
+        report.detail = "key " + std::to_string(key) + " with "
+                        + std::to_string(ops.size()) + " ops: "
+                        + (result == LinResult::Violation
+                               ? "no valid linearization"
+                               : "state budget exhausted");
+        if (result == LinResult::Violation)
+            return report; // violations dominate inconclusive results
+    }
+    return report;
+}
+
+} // namespace hermes::app

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A Wing & Gong linearizability checker for single-key registers with
+ * reads, writes and CAS — the executable counterpart of the paper's TLA+
+ * model checking, run by the property-based protocol tests against
+ * histories recorded under fault injection.
+ *
+ * Linearizability is compositional, so the checker validates each key's
+ * sub-history independently (which also keeps the search tractable). The
+ * search linearizes one "minimal" pending operation at a time — an op no
+ * other unlinearized op precedes in real time — backtracking on result
+ * mismatches, with memoization on (linearized-set, register value).
+ */
+
+#ifndef HERMES_APP_LIN_CHECKER_HH
+#define HERMES_APP_LIN_CHECKER_HH
+
+#include <string>
+
+#include "app/history.hh"
+
+namespace hermes::app
+{
+
+/** Checker outcome. */
+enum class LinResult
+{
+    Ok,           ///< a valid linearization exists
+    Violation,    ///< no linearization exists: the protocol is broken
+    Inconclusive, ///< state-budget exhausted (pathological concurrency)
+};
+
+/** Per-run verdict with diagnostics for test failure messages. */
+struct LinReport
+{
+    LinResult result = LinResult::Ok;
+    Key offendingKey = 0;
+    std::string detail;
+
+    bool ok() const { return result == LinResult::Ok; }
+};
+
+/**
+ * Check one key's sub-history against an initial register value.
+ *
+ * @param ops           completed operations on one key
+ * @param initial       register value before the history (usually "")
+ * @param state_budget  max distinct search states before Inconclusive
+ */
+LinResult checkKeyHistory(const std::vector<HistOp> &ops,
+                          const Value &initial = {},
+                          size_t state_budget = 1u << 22);
+
+/** Check a full multi-key history (compositionally, key by key). */
+LinReport checkHistory(const History &history,
+                       size_t state_budget = 1u << 22);
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_LIN_CHECKER_HH

@@ -1,0 +1,58 @@
+#include "app/protocols.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::app
+{
+
+namespace
+{
+
+const ProtocolTraits kHermesTraits{
+    "HermesKV", true, "one per RM", "Lin", "inter-key", "1 RTT",
+    true, true, false,
+};
+
+const ProtocolTraits kCraqTraits{
+    "rCRAQ", true, "one per RM", "Lin", "inter-key", "O(n) RTT",
+    false, false, false,
+};
+
+const ProtocolTraits kZabTraits{
+    "rZAB", true, "none", "SC", "serializes all", "2 RTT",
+    false, false, true,
+};
+
+const ProtocolTraits kLockstepTraits{
+    "Derecho-like", true, "none", "SC", "serializes all", "lock-step",
+    true, false, true,
+};
+
+} // namespace
+
+const ProtocolTraits &
+traitsOf(Protocol protocol)
+{
+    switch (protocol) {
+      case Protocol::Hermes: return kHermesTraits;
+      case Protocol::Craq: return kCraqTraits;
+      case Protocol::Zab: return kZabTraits;
+      case Protocol::Lockstep: return kLockstepTraits;
+    }
+    panic("unknown protocol");
+}
+
+std::vector<Protocol>
+allProtocols()
+{
+    return {Protocol::Hermes, Protocol::Craq, Protocol::Zab,
+            Protocol::Lockstep};
+}
+
+const char *
+protocolName(Protocol protocol)
+{
+    return traitsOf(protocol).name;
+}
+
+} // namespace hermes::app

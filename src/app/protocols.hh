@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The protocol registry: every replication protocol the library ships,
+ * with the feature traits the paper tabulates (Tables 1 and 2) and that
+ * the workload driver needs (SC session-order semantics).
+ */
+
+#ifndef HERMES_APP_PROTOCOLS_HH
+#define HERMES_APP_PROTOCOLS_HH
+
+#include <string>
+#include <vector>
+
+namespace hermes::app
+{
+
+/** The evaluated systems (paper §5.1). */
+enum class Protocol
+{
+    Hermes,   ///< HermesKV: this library's contribution
+    Craq,     ///< rCRAQ: chain replication with apportioned queries
+    Zab,      ///< rZAB: leader-serialized atomic broadcast
+    Lockstep, ///< Derecho-like lock-step total-order broadcast
+};
+
+/** Feature matrix row (paper Table 2 plus driver hints). */
+struct ProtocolTraits
+{
+    const char *name;
+    bool localReads;             ///< linearizable/SC reads with no messages
+    const char *leases;          ///< "one per RM" or "none"
+    const char *consistency;     ///< "Lin" or "SC"
+    const char *writeConcurrency;///< "inter-key" or "serializes all"
+    const char *writeLatency;    ///< exposed RTTs for a write
+    bool decentralizedWrites;    ///< any replica can coordinate a write
+    bool supportsRmw;            ///< single-key RMWs offered
+    /**
+     * SC protocols must stall a session's reads behind its own uncommitted
+     * writes to preserve session order (paper §5.1.1); the driver honours
+     * this flag. Lin protocols get it for free from their commit points.
+     */
+    bool readsWaitForSessionWrites;
+};
+
+/** @return the trait row for @p protocol. */
+const ProtocolTraits &traitsOf(Protocol protocol);
+
+/** All protocols, in the paper's presentation order. */
+std::vector<Protocol> allProtocols();
+
+/** Short name, e.g. "HermesKV". */
+const char *protocolName(Protocol protocol);
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_PROTOCOLS_HH

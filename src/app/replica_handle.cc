@@ -1,0 +1,248 @@
+#include "app/replica_handle.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::app
+{
+
+using membership::MembershipView;
+
+ReplicaHandle::ReplicaHandle(net::Env &env, const ReplicaOptions &options,
+                             MembershipView initial)
+    : env_(env), store_(options.storeCapacity, options.maxValueSize)
+{
+    if (options.enableRm)
+        rm_ = std::make_unique<membership::RmNode>(env, std::move(initial),
+                                                   options.rmConfig);
+}
+
+bool
+ReplicaHandle::routeRm(const net::MessagePtr &msg)
+{
+    if (!membership::isRmMessage(msg->type()))
+        return false;
+    if (rm_)
+        rm_->onMessage(msg);
+    return true;
+}
+
+namespace
+{
+
+/** Shared start/route/view plumbing over a concrete protocol engine. */
+template <typename Engine>
+class HandleBase : public ReplicaHandle
+{
+  public:
+    HandleBase(net::Env &env, const ReplicaOptions &options,
+               MembershipView initial)
+        : ReplicaHandle(env, options, initial)
+    {}
+
+    void
+    start() override
+    {
+        if (rm_) {
+            rm_->onViewChange(
+                [this](const MembershipView &view) { applyView(view); });
+            rm_->start();
+        }
+    }
+
+    void
+    onMessage(const net::MessagePtr &msg) override
+    {
+        if (routeRm(msg))
+            return;
+        engine_->onMessage(msg);
+    }
+
+    void injectView(const MembershipView &view) override { applyView(view); }
+
+  protected:
+    virtual void applyView(const MembershipView &view) = 0;
+
+    std::unique_ptr<Engine> engine_;
+};
+
+class HermesHandle : public HandleBase<proto::HermesReplica>
+{
+  public:
+    HermesHandle(net::Env &env, MembershipView initial,
+                 const ReplicaOptions &options)
+        : HandleBase(env, options, initial)
+    {
+        engine_ = std::make_unique<proto::HermesReplica>(
+            env, store_, initial, options.hermesConfig);
+        if (rm_) {
+            engine_->setOperationalCheck(
+                [rm = rm_.get()] { return rm->operational(); });
+        }
+    }
+
+    void
+    read(Key key, ReadCallback cb) override
+    {
+        engine_->read(key, std::move(cb));
+    }
+
+    void
+    write(Key key, Value value, WriteCallback cb) override
+    {
+        engine_->write(key, std::move(value), std::move(cb));
+    }
+
+    void
+    cas(Key key, Value expected, Value desired, CasCallback cb) override
+    {
+        engine_->cas(key, std::move(expected), std::move(desired),
+                     std::move(cb));
+    }
+
+    const ProtocolTraits &traits() const override
+    {
+        return traitsOf(Protocol::Hermes);
+    }
+
+    proto::HermesReplica *hermes() override { return engine_.get(); }
+
+  protected:
+    void
+    applyView(const MembershipView &view) override
+    {
+        engine_->onViewChange(view);
+    }
+};
+
+class CraqHandle : public HandleBase<craq::CraqReplica>
+{
+  public:
+    CraqHandle(net::Env &env, MembershipView initial,
+               const ReplicaOptions &options)
+        : HandleBase(env, options, initial)
+    {
+        engine_ = std::make_unique<craq::CraqReplica>(env, store_, initial);
+    }
+
+    void
+    read(Key key, ReadCallback cb) override
+    {
+        engine_->read(key, std::move(cb));
+    }
+
+    void
+    write(Key key, Value value, WriteCallback cb) override
+    {
+        engine_->write(key, std::move(value), std::move(cb));
+    }
+
+    const ProtocolTraits &traits() const override
+    {
+        return traitsOf(Protocol::Craq);
+    }
+
+    craq::CraqReplica *craq() override { return engine_.get(); }
+
+  protected:
+    void
+    applyView(const MembershipView &view) override
+    {
+        engine_->onViewChange(view);
+    }
+};
+
+class ZabHandle : public HandleBase<zab::ZabReplica>
+{
+  public:
+    ZabHandle(net::Env &env, MembershipView initial,
+              const ReplicaOptions &options)
+        : HandleBase(env, options, initial)
+    {
+        engine_ = std::make_unique<zab::ZabReplica>(env, store_, initial);
+    }
+
+    void
+    read(Key key, ReadCallback cb) override
+    {
+        engine_->read(key, std::move(cb));
+    }
+
+    void
+    write(Key key, Value value, WriteCallback cb) override
+    {
+        engine_->write(key, std::move(value), std::move(cb));
+    }
+
+    const ProtocolTraits &traits() const override
+    {
+        return traitsOf(Protocol::Zab);
+    }
+
+    zab::ZabReplica *zab() override { return engine_.get(); }
+
+  protected:
+    void
+    applyView(const MembershipView &view) override
+    {
+        engine_->onViewChange(view);
+    }
+};
+
+class LockstepHandle : public HandleBase<lockstep::LockstepReplica>
+{
+  public:
+    LockstepHandle(net::Env &env, MembershipView initial,
+                   const ReplicaOptions &options)
+        : HandleBase(env, options, initial)
+    {
+        engine_ = std::make_unique<lockstep::LockstepReplica>(
+            env, store_, initial, options.lockstepConfig);
+    }
+
+    void
+    read(Key key, ReadCallback cb) override
+    {
+        engine_->read(key, std::move(cb));
+    }
+
+    void
+    write(Key key, Value value, WriteCallback cb) override
+    {
+        engine_->write(key, std::move(value), std::move(cb));
+    }
+
+    const ProtocolTraits &traits() const override
+    {
+        return traitsOf(Protocol::Lockstep);
+    }
+
+    lockstep::LockstepReplica *lockstep() override { return engine_.get(); }
+
+  protected:
+    void
+    applyView(const MembershipView &view) override
+    {
+        engine_->onViewChange(view);
+    }
+};
+
+} // namespace
+
+std::unique_ptr<ReplicaHandle>
+makeReplica(Protocol protocol, net::Env &env, MembershipView initial,
+            const ReplicaOptions &options)
+{
+    switch (protocol) {
+      case Protocol::Hermes:
+        return std::make_unique<HermesHandle>(env, initial, options);
+      case Protocol::Craq:
+        return std::make_unique<CraqHandle>(env, initial, options);
+      case Protocol::Zab:
+        return std::make_unique<ZabHandle>(env, initial, options);
+      case Protocol::Lockstep:
+        return std::make_unique<LockstepHandle>(env, initial, options);
+    }
+    panic("unknown protocol");
+}
+
+} // namespace hermes::app

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * ReplicaHandle: the uniform client-facing assembly of one replica —
+ * protocol engine + local KVS shard + (optionally) the RM agent — behind
+ * which the workload driver, the tests and the benches treat all four
+ * protocols identically.
+ *
+ * The handle is also the net::Node the transport delivers to: it routes
+ * RM traffic to the RmNode and everything else to the protocol engine,
+ * and wires RM m-updates into the protocol's onViewChange.
+ */
+
+#ifndef HERMES_APP_REPLICA_HANDLE_HH
+#define HERMES_APP_REPLICA_HANDLE_HH
+
+#include <functional>
+#include <memory>
+
+#include "app/protocols.hh"
+#include "baselines/craq/replica.hh"
+#include "baselines/lockstep/replica.hh"
+#include "baselines/zab/replica.hh"
+#include "hermes/replica.hh"
+#include "membership/rm_node.hh"
+#include "net/env.hh"
+#include "store/kvs.hh"
+
+namespace hermes::app
+{
+
+/** Construction options shared by all protocol handles. */
+struct ReplicaOptions
+{
+    size_t storeCapacity = 1 << 17;
+    size_t maxValueSize = 64;
+    bool enableRm = false;               ///< run the RM agent (heartbeats)
+    membership::RmConfig rmConfig{};
+    proto::HermesConfig hermesConfig{};  ///< protocol == Hermes only
+    lockstep::LockstepConfig lockstepConfig{}; ///< protocol == Lockstep
+};
+
+/**
+ * One assembled replica. Create via makeReplica(); drive via the client
+ * API; deliver transport messages via the net::Node interface.
+ */
+class ReplicaHandle : public net::Node
+{
+  public:
+    using ReadCallback = std::function<void(const Value &)>;
+    using WriteCallback = std::function<void()>;
+    using CasCallback = std::function<void(bool, const Value &)>;
+
+    ~ReplicaHandle() override = default;
+
+    // ---- Client API ----
+    virtual void read(Key key, ReadCallback cb) = 0;
+    virtual void write(Key key, Value value, WriteCallback cb) = 0;
+
+    /** CAS RMW; only protocols with traits().supportsRmw implement it. */
+    virtual void
+    cas(Key, Value, Value, CasCallback)
+    {
+        panic("%s does not support RMWs", traits().name);
+    }
+
+    // ---- Introspection ----
+    virtual const ProtocolTraits &traits() const = 0;
+    store::KvStore &kvStore() { return store_; }
+    membership::RmNode *rm() { return rm_.get(); }
+
+    /** Push an m-update directly (tests without a live RM agent). */
+    virtual void injectView(const membership::MembershipView &view) = 0;
+
+    /** The protocol engines, for protocol-specific test introspection. */
+    virtual proto::HermesReplica *hermes() { return nullptr; }
+    virtual craq::CraqReplica *craq() { return nullptr; }
+    virtual zab::ZabReplica *zab() { return nullptr; }
+    virtual lockstep::LockstepReplica *lockstep() { return nullptr; }
+
+  protected:
+    ReplicaHandle(net::Env &env, const ReplicaOptions &options,
+                  membership::MembershipView initial);
+
+    /** Route one message to RM or the protocol engine. */
+    bool routeRm(const net::MessagePtr &msg);
+
+    net::Env &env_;
+    store::KvStore store_;
+    std::unique_ptr<membership::RmNode> rm_;
+};
+
+/** Build the replica assembly for @p protocol on @p env. */
+std::unique_ptr<ReplicaHandle>
+makeReplica(Protocol protocol, net::Env &env,
+            membership::MembershipView initial,
+            const ReplicaOptions &options);
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_REPLICA_HANDLE_HH

@@ -1,0 +1,128 @@
+#include "app/tcp_service.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::app
+{
+
+using net::ClientReplyMsg;
+using net::ClientRequestMsg;
+
+TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
+                           ReplicaOptions options, net::TcpConfig config)
+    : cluster_(nodes, config)
+{
+    net::registerClientCodecs();
+    membership::MembershipView initial = membership::initialView(nodes);
+    for (size_t i = 0; i < nodes; ++i) {
+        auto id = static_cast<NodeId>(i);
+        replicas_.push_back(
+            makeReplica(protocol, cluster_.env(id), initial, options));
+        cluster_.attach(id, replicas_.back().get());
+        cluster_.setClientHandler(
+            id, [this, id](net::ClientConnId conn,
+                           std::shared_ptr<net::Message> msg) {
+                handleClientFrame(id, conn, msg);
+            });
+    }
+}
+
+TcpKvService::~TcpKvService()
+{
+    stop();
+}
+
+void
+TcpKvService::start()
+{
+    cluster_.start();
+}
+
+void
+TcpKvService::stop()
+{
+    cluster_.stop();
+}
+
+void
+TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
+                                const std::shared_ptr<net::Message> &msg)
+{
+    if (msg->type() != net::MsgType::ClientRequest)
+        return;
+    auto &request = static_cast<ClientRequestMsg &>(*msg);
+    ReplicaHandle &replica = *replicas_[node];
+    uint64_t req_id = request.reqId;
+
+    switch (request.op) {
+      case ClientRequestMsg::Op::Read:
+        replica.read(request.key,
+                     [this, node, conn, req_id](const Value &value) {
+                         ClientReplyMsg reply;
+                         reply.reqId = req_id;
+                         reply.value = value;
+                         cluster_.replyToClient(node, conn, reply);
+                     });
+        break;
+      case ClientRequestMsg::Op::Write:
+        replica.write(request.key, request.value,
+                      [this, node, conn, req_id] {
+                          ClientReplyMsg reply;
+                          reply.reqId = req_id;
+                          cluster_.replyToClient(node, conn, reply);
+                      });
+        break;
+      case ClientRequestMsg::Op::Cas:
+        replica.cas(request.key, request.expected, request.value,
+                    [this, node, conn, req_id](bool ok, const Value &seen) {
+                        ClientReplyMsg reply;
+                        reply.reqId = req_id;
+                        reply.ok = ok;
+                        reply.value = seen;
+                        cluster_.replyToClient(node, conn, reply);
+                    });
+        break;
+    }
+}
+
+std::optional<Value>
+KvClient::read(Key key, DurationNs timeout)
+{
+    ClientRequestMsg request;
+    request.op = ClientRequestMsg::Op::Read;
+    request.reqId = nextReqId_++;
+    request.key = key;
+    auto reply = client_.call(request, timeout);
+    if (!reply || reply->type() != net::MsgType::ClientReply)
+        return std::nullopt;
+    return static_cast<ClientReplyMsg &>(*reply).value;
+}
+
+bool
+KvClient::write(Key key, Value value, DurationNs timeout)
+{
+    ClientRequestMsg request;
+    request.op = ClientRequestMsg::Op::Write;
+    request.reqId = nextReqId_++;
+    request.key = key;
+    request.value = std::move(value);
+    auto reply = client_.call(request, timeout);
+    return reply && reply->type() == net::MsgType::ClientReply;
+}
+
+std::optional<bool>
+KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
+{
+    ClientRequestMsg request;
+    request.op = ClientRequestMsg::Op::Cas;
+    request.reqId = nextReqId_++;
+    request.key = key;
+    request.value = std::move(desired);
+    request.expected = std::move(expected);
+    auto reply = client_.call(request, timeout);
+    if (!reply || reply->type() != net::MsgType::ClientReply)
+        return std::nullopt;
+    return static_cast<ClientReplyMsg &>(*reply).ok;
+}
+
+} // namespace hermes::app

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * TcpKvService: a complete replicated KV service over real TCP — the
+ * protocol engines from the simulator, unchanged, behind network sockets
+ * with Wings-style batching, serving external clients on every replica's
+ * port. This is the "HermesKV as a deployable system" face of the
+ * library (the paper's §4 system, with TCP standing in for RDMA).
+ */
+
+#ifndef HERMES_APP_TCP_SERVICE_HH
+#define HERMES_APP_TCP_SERVICE_HH
+
+#include <memory>
+#include <vector>
+
+#include "app/replica_handle.hh"
+#include "net/client_msgs.hh"
+#include "net/tcp_cluster.hh"
+
+namespace hermes::app
+{
+
+/** A running replicated KV service on localhost TCP. */
+class TcpKvService
+{
+  public:
+    /**
+     * @param protocol  replication protocol to deploy
+     * @param nodes     replica count
+     * @param options   store/RM/protocol options
+     * @param config    TCP transport knobs (base port!)
+     */
+    TcpKvService(Protocol protocol, size_t nodes, ReplicaOptions options,
+                 net::TcpConfig config = {});
+    ~TcpKvService();
+
+    /** Bind, mesh-connect, start protocol engines and client handlers. */
+    void start();
+
+    /** Stop all node loops. */
+    void stop();
+
+    /** Port clients should dial for replica @p id. */
+    uint16_t portOf(NodeId id) const { return cluster_.portOf(id); }
+
+    net::TcpCluster &cluster() { return cluster_; }
+    ReplicaHandle &replica(NodeId id) { return *replicas_.at(id); }
+    size_t numNodes() const { return replicas_.size(); }
+
+    /** Kill one replica (closes its sockets, halts its loop). */
+    void crash(NodeId id) { cluster_.crash(id); }
+
+  private:
+    void handleClientFrame(NodeId node, net::ClientConnId conn,
+                           const std::shared_ptr<net::Message> &msg);
+
+    net::TcpCluster cluster_;
+    std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
+};
+
+/**
+ * Synchronous KV client for a TcpKvService replica: read/write/cas with
+ * blocking calls, as an application would use the service.
+ */
+class KvClient
+{
+  public:
+    explicit KvClient(uint16_t port) : client_(port) {}
+
+    bool connected() const { return client_.connected(); }
+
+    /** @return the value, or nullopt on timeout/disconnect. */
+    std::optional<Value> read(Key key, DurationNs timeout = 5_s);
+
+    /** @return true when the write committed. */
+    bool write(Key key, Value value, DurationNs timeout = 5_s);
+
+    /** @return whether the CAS applied, or nullopt on timeout. */
+    std::optional<bool> cas(Key key, Value expected, Value desired,
+                            DurationNs timeout = 5_s);
+
+  private:
+    net::TcpClient client_;
+    uint64_t nextReqId_ = 1;
+};
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_TCP_SERVICE_HH

@@ -1,0 +1,59 @@
+#include "app/workload.hh"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hermes::app
+{
+
+Workload::Workload(const WorkloadConfig &config) : config_(config)
+{
+    hermes_assert(config_.numKeys > 0);
+    if (config_.zipfTheta > 0.0)
+        zipf_.emplace(config_.numKeys, config_.zipfTheta);
+}
+
+Key
+Workload::nextKey(Rng &rng) const
+{
+    if (zipf_)
+        return zipf_->next(rng);
+    return rng.nextBounded(config_.numKeys);
+}
+
+WorkloadOp
+Workload::next(Rng &rng) const
+{
+    WorkloadOp op;
+    op.key = nextKey(rng);
+    if (rng.nextBool(config_.writeRatio)) {
+        op.kind = (config_.casRatio > 0.0 && rng.nextBool(config_.casRatio))
+                      ? WorkloadOp::Kind::Cas
+                      : WorkloadOp::Kind::Write;
+    } else {
+        op.kind = WorkloadOp::Kind::Read;
+    }
+    return op;
+}
+
+Value
+Workload::makeValue(uint64_t tag) const
+{
+    Value value(std::max<size_t>(config_.valueSize, sizeof(uint64_t)), 'x');
+    std::memcpy(value.data(), &tag, sizeof(tag));
+    return value;
+}
+
+uint64_t
+Workload::tagOf(const Value &value)
+{
+    if (value.size() < sizeof(uint64_t))
+        return 0;
+    uint64_t tag;
+    std::memcpy(&tag, value.data(), sizeof(tag));
+    return tag;
+}
+
+} // namespace hermes::app

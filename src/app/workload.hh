@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload generation matching the paper's evaluation (§5.2, §6): a keyed
+ * read/write mix over a fixed key universe, uniform or Zipfian-skewed
+ * (exponent 0.99 as in YCSB), with configurable value sizes.
+ */
+
+#ifndef HERMES_APP_WORKLOAD_HH
+#define HERMES_APP_WORKLOAD_HH
+
+#include <memory>
+#include <optional>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace hermes::app
+{
+
+/** Parameters of one workload. */
+struct WorkloadConfig
+{
+    /** Key universe size (paper: 1M; sim benches default smaller). */
+    uint64_t numKeys = 100000;
+    /** Fraction of operations that are writes. */
+    double writeRatio = 0.05;
+    /** Zipfian exponent; 0 = uniform (paper's skew point: 0.99). */
+    double zipfTheta = 0.0;
+    /** Value bytes per write (paper default 32B; Fig 8 sweeps to 1KB). */
+    size_t valueSize = 32;
+    /** Fraction of *updates* issued as CAS RMWs (Hermes extension). */
+    double casRatio = 0.0;
+};
+
+/** One generated operation. */
+struct WorkloadOp
+{
+    enum class Kind { Read, Write, Cas } kind;
+    Key key;
+};
+
+/**
+ * Deterministic operation stream. Each consumer (session) should own an
+ * Rng; the generator itself is stateless beyond the Zipfian tables.
+ */
+class Workload
+{
+  public:
+    explicit Workload(const WorkloadConfig &config);
+
+    const WorkloadConfig &config() const { return config_; }
+
+    /** Draw the next operation. */
+    WorkloadOp next(Rng &rng) const;
+
+    /** Draw a key only. */
+    Key nextKey(Rng &rng) const;
+
+    /**
+     * Build a value of the configured size whose prefix encodes @p tag —
+     * unique tags per written value are what lets the linearizability
+     * checker match reads to writes.
+     */
+    Value makeValue(uint64_t tag) const;
+
+    /** Recover the tag from a value built by makeValue ("" -> 0). */
+    static uint64_t tagOf(const Value &value);
+
+  private:
+    WorkloadConfig config_;
+    std::optional<ZipfianGenerator> zipf_;
+};
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_WORKLOAD_HH

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * CRAQ wire messages (paper §2.5): chain write propagation, upstream
+ * acknowledgments, and the tail version queries that make dirty reads
+ * strongly consistent.
+ */
+
+#ifndef HERMES_BASELINES_CRAQ_MESSAGES_HH
+#define HERMES_BASELINES_CRAQ_MESSAGES_HH
+
+#include "net/message.hh"
+
+namespace hermes::craq
+{
+
+/** A non-head node forwarding a client write to the chain head. */
+struct ForwardMsg : net::Message
+{
+    ForwardMsg() : Message(net::MsgType::CraqForward) {}
+
+    Key key = 0;
+    Value value;
+    NodeId origin = kInvalidNode; ///< node owning the client callback
+    uint64_t reqId = 0;
+
+    size_t payloadSize() const override
+    {
+        return 8 + 4 + value.size() + 4 + 8;
+    }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU64(key);
+        writer.putString(value);
+        writer.putU32(origin);
+        writer.putU64(reqId);
+    }
+};
+
+/** A versioned write propagating down the chain. */
+struct WriteMsg : net::Message
+{
+    WriteMsg() : Message(net::MsgType::CraqWrite) {}
+
+    Key key = 0;
+    uint32_t version = 0;
+    Value value;
+    NodeId origin = kInvalidNode;
+    uint64_t reqId = 0;
+
+    size_t payloadSize() const override
+    {
+        return 8 + 4 + 4 + value.size() + 4 + 8;
+    }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU64(key);
+        writer.putU32(version);
+        writer.putString(value);
+        writer.putU32(origin);
+        writer.putU64(reqId);
+    }
+};
+
+/** Commit acknowledgment propagating back up the chain from the tail. */
+struct WriteAckMsg : net::Message
+{
+    WriteAckMsg() : Message(net::MsgType::CraqWriteAck) {}
+
+    Key key = 0;
+    uint32_t version = 0;
+    NodeId origin = kInvalidNode;
+    uint64_t reqId = 0;
+
+    size_t payloadSize() const override { return 8 + 4 + 4 + 8; }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU64(key);
+        writer.putU32(version);
+        writer.putU32(origin);
+        writer.putU64(reqId);
+    }
+};
+
+/** Dirty read: ask the tail which version of the key is committed. */
+struct VersionQueryMsg : net::Message
+{
+    VersionQueryMsg() : Message(net::MsgType::CraqVersionQuery) {}
+
+    Key key = 0;
+    uint64_t reqId = 0;
+
+    size_t payloadSize() const override { return 8 + 8; }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU64(key);
+        writer.putU64(reqId);
+    }
+};
+
+/** Tail's answer to a version query. */
+struct VersionReplyMsg : net::Message
+{
+    VersionReplyMsg() : Message(net::MsgType::CraqVersionReply) {}
+
+    Key key = 0;
+    uint32_t version = 0;
+    uint64_t reqId = 0;
+
+    size_t payloadSize() const override { return 8 + 4 + 8; }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU64(key);
+        writer.putU32(version);
+        writer.putU64(reqId);
+    }
+};
+
+/** Register decoders for CRAQ message types (idempotent). */
+void registerCraqCodecs();
+
+} // namespace hermes::craq
+
+#endif // HERMES_BASELINES_CRAQ_MESSAGES_HH

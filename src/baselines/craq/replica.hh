@@ -1,0 +1,124 @@
+/**
+ * @file
+ * CraqReplica: our from-scratch CRAQ implementation (paper §2.5, evaluated
+ * as rCRAQ in §5.1.2), sharing the KVS, transport and cost model with
+ * Hermes so benchmarks isolate the protocol difference — exactly the
+ * paper's methodology.
+ *
+ * CRAQ organizes the replicas in a chain (we use the membership view's
+ * order). Writes enter at the head, propagate down as dirty versions, and
+ * commit when they reach the tail, which sends acknowledgments back
+ * upstream. Reads are local while a key is clean; a read of a dirty key
+ * must query the tail for the committed version number (the behaviour
+ * behind the paper's skew results: the tail becomes the hotspot).
+ */
+
+#ifndef HERMES_BASELINES_CRAQ_REPLICA_HH
+#define HERMES_BASELINES_CRAQ_REPLICA_HH
+
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "baselines/craq/messages.hh"
+#include "membership/view.hh"
+#include "net/env.hh"
+#include "store/kvs.hh"
+
+namespace hermes::craq
+{
+
+/** Operation counters exposed to benchmarks and tests. */
+struct CraqStats
+{
+    uint64_t readsLocal = 0;      ///< clean (or tail) reads served locally
+    uint64_t readsViaTail = 0;    ///< dirty reads that queried the tail
+    uint64_t writesCommitted = 0;
+    uint64_t versionQueriesServed = 0; ///< tail-side query load
+    uint64_t chainHops = 0;       ///< write propagation hops handled
+};
+
+/**
+ * One CRAQ replica. Chain order follows the (sorted) membership view:
+ * live.front() is the head, live.back() the tail.
+ */
+class CraqReplica : public net::Node
+{
+  public:
+    using ReadCallback = std::function<void(const Value &)>;
+    using WriteCallback = std::function<void()>;
+
+    CraqReplica(net::Env &env, store::KvStore &store,
+                membership::MembershipView initial);
+
+    /** Feed an m-update: rebuilds the chain and re-propagates dirty data. */
+    void onViewChange(const membership::MembershipView &view);
+
+    // ---- net::Node ----
+    void onMessage(const net::MessagePtr &msg) override;
+
+    // ---- Client API ----
+    /**
+     * Linearizable read: local when the key is clean; a dirty key queries
+     * the tail for the committed version first.
+     */
+    void read(Key key, ReadCallback cb);
+
+    /** Linearizable write: forwarded to the head, committed at the tail. */
+    void write(Key key, Value value, WriteCallback cb);
+
+    // ---- Introspection ----
+    const CraqStats &stats() const { return stats_; }
+    NodeId head() const { return view_.live.front(); }
+    NodeId tail() const { return view_.live.back(); }
+    bool isHead() const { return env_.self() == head(); }
+    bool isTail() const { return env_.self() == tail(); }
+    /** Dirty-version chain length for a key (test introspection). */
+    size_t dirtyVersions(Key key) const;
+
+  private:
+    /** Per-key list of not-yet-committed versions, oldest first. */
+    using DirtyList = std::deque<std::pair<uint32_t, Value>>;
+
+    struct ClientOp
+    {
+        Key key = 0;
+        ReadCallback readCb;
+        WriteCallback writeCb;
+    };
+
+    NodeId successor() const;
+    NodeId predecessor() const;
+
+    void headIngest(Key key, Value value, NodeId origin, uint64_t req_id);
+    void commitLocal(Key key, uint32_t version);
+    void completeWrite(NodeId origin, uint64_t req_id);
+
+    void onForward(const ForwardMsg &msg);
+    void onWrite(const WriteMsg &msg);
+    void onWriteAck(const WriteAckMsg &msg);
+    void onVersionQuery(const VersionQueryMsg &msg);
+    void onVersionReply(const VersionReplyMsg &msg);
+
+    net::Env &env_;
+    store::KvStore &store_;
+    membership::MembershipView view_;
+    CraqStats stats_;
+
+    std::unordered_map<Key, DirtyList> dirty_;
+    std::unordered_map<uint64_t, ClientOp> clientOps_;
+    uint64_t nextReqId_ = 1;
+
+    /**
+     * Head-side dedup of forwarded client writes: a duplicated ForwardMsg
+     * must not be ingested twice — the re-ingested copy would become a
+     * *newer* version and could roll back a later write (a
+     * linearizability violation under the §2.4 duplication fault model).
+     */
+    std::unordered_set<uint64_t> seenForwards_;
+};
+
+} // namespace hermes::craq
+
+#endif // HERMES_BASELINES_CRAQ_REPLICA_HH

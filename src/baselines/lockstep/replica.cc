@@ -1,0 +1,291 @@
+#include "baselines/lockstep/replica.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::lockstep
+{
+
+using store::KeyRecord;
+
+namespace
+{
+
+void
+putEntry(BufWriter &writer, const Entry &entry)
+{
+    writer.putU64(entry.key);
+    writer.putString(entry.value);
+    writer.putU32(entry.origin);
+    writer.putU64(entry.reqId);
+}
+
+Entry
+getEntry(BufReader &reader)
+{
+    Entry entry;
+    entry.key = reader.getU64();
+    entry.value = reader.getString();
+    entry.origin = reader.getU32();
+    entry.reqId = reader.getU64();
+    return entry;
+}
+
+} // namespace
+
+void
+SubmitMsg::serializePayload(BufWriter &writer) const
+{
+    putEntry(writer, entry);
+}
+
+size_t
+RoundMsg::payloadSize() const
+{
+    size_t size = 8 + 4;
+    for (const Entry &entry : entries)
+        size += 8 + 4 + entry.value.size() + 4 + 8;
+    return size;
+}
+
+void
+RoundMsg::serializePayload(BufWriter &writer) const
+{
+    writer.putU64(round);
+    writer.putU32(static_cast<uint32_t>(entries.size()));
+    for (const Entry &entry : entries)
+        putEntry(writer, entry);
+}
+
+void
+RoundAckMsg::serializePayload(BufWriter &writer) const
+{
+    writer.putU64(round);
+}
+
+void
+registerLockstepCodecs()
+{
+    using net::MsgType;
+    net::registerDecoder(MsgType::LockstepSubmit, [](BufReader &reader) {
+        auto msg = std::make_shared<SubmitMsg>();
+        msg->entry = getEntry(reader);
+        return msg;
+    });
+    net::registerDecoder(MsgType::LockstepRound, [](BufReader &reader) {
+        auto msg = std::make_shared<RoundMsg>();
+        msg->round = reader.getU64();
+        uint32_t count = reader.getU32();
+        for (uint32_t i = 0; i < count && reader.ok(); ++i)
+            msg->entries.push_back(getEntry(reader));
+        return msg;
+    });
+    net::registerDecoder(MsgType::LockstepAck, [](BufReader &reader) {
+        auto msg = std::make_shared<RoundAckMsg>();
+        msg->round = reader.getU64();
+        return msg;
+    });
+}
+
+LockstepReplica::LockstepReplica(net::Env &env, store::KvStore &store,
+                                 membership::MembershipView initial,
+                                 LockstepConfig config)
+    : env_(env), store_(store), view_(std::move(initial)), config_(config)
+{
+    hermes_assert(!view_.live.empty());
+    registerLockstepCodecs();
+}
+
+// ---------------------------------------------------------------------
+// Client API
+// ---------------------------------------------------------------------
+
+void
+LockstepReplica::read(Key key, ReadCallback cb)
+{
+    ++stats_.readsCompleted;
+    store::ReadResult result = store_.read(key);
+    cb(result.value);
+}
+
+void
+LockstepReplica::write(Key key, Value value, WriteCallback cb)
+{
+    uint64_t req_id = nextReqId_++;
+    clientOps_[req_id] = std::move(cb);
+    Entry entry{key, std::move(value), env_.self(), req_id};
+    if (isSequencer()) {
+        submitQueue_.push_back(std::move(entry));
+        maybeStartRound();
+        return;
+    }
+    auto submit = std::make_shared<SubmitMsg>();
+    submit->epoch = view_.epoch;
+    submit->entry = std::move(entry);
+    env_.send(sequencer(), submit);
+}
+
+// ---------------------------------------------------------------------
+// Sequencer machinery
+// ---------------------------------------------------------------------
+
+void
+LockstepReplica::submitToSequencer(Entry entry)
+{
+    submitQueue_.push_back(std::move(entry));
+    maybeStartRound();
+}
+
+void
+LockstepReplica::maybeStartRound()
+{
+    // Lock-step: at most one round is in flight; the next opens only
+    // after this node (the sequencer) has delivered the previous one.
+    if (!isSequencer() || roundInFlight_ || submitQueue_.empty())
+        return;
+    roundInFlight_ = true;
+    if (config_.roundOverheadNs > 0)
+        env_.chargeCpu(config_.roundOverheadNs);
+    uint64_t round = ++nextRound_;
+    std::vector<Entry> batch;
+    while (!submitQueue_.empty() && batch.size() < config_.roundBatchCap) {
+        batch.push_back(std::move(submitQueue_.front()));
+        submitQueue_.pop_front();
+    }
+    auto msg = std::make_shared<RoundMsg>();
+    msg->epoch = view_.epoch;
+    msg->round = round;
+    msg->entries = batch;
+    env_.broadcast(view_.live, msg);
+    handleRound(round, std::move(batch)); // self-delivery of the broadcast
+}
+
+void
+LockstepReplica::handleRound(uint64_t round, std::vector<Entry> entries)
+{
+    PendingRound &pending = rounds_[round];
+    pending.entries = std::move(entries);
+    pending.haveEntries = true;
+    // Stability vote: tell everyone we hold the round.
+    auto ack = std::make_shared<RoundAckMsg>();
+    ack->epoch = view_.epoch;
+    ack->round = round;
+    env_.broadcast(view_.live, ack);
+    recordRoundAck(round, env_.self());
+}
+
+void
+LockstepReplica::recordRoundAck(uint64_t round, NodeId from)
+{
+    if (round <= lastDelivered_)
+        return; // late ack of a delivered round
+    PendingRound &pending = rounds_[round];
+    if (!contains(pending.acked, from))
+        pending.acked.push_back(from);
+    tryDeliver();
+}
+
+void
+LockstepReplica::tryDeliver()
+{
+    for (;;) {
+        auto it = rounds_.find(lastDelivered_ + 1);
+        if (it == rounds_.end() || !it->second.haveEntries)
+            return;
+        // Deliver only when *every* live member acknowledged — virtual
+        // synchrony's lock-step stability condition.
+        for (NodeId n : view_.live) {
+            if (!contains(it->second.acked, n))
+                return;
+        }
+        PendingRound pending = std::move(it->second);
+        rounds_.erase(it);
+        ++lastDelivered_;
+        ++stats_.roundsDelivered;
+        for (Entry &entry : pending.entries) {
+            ++stats_.entriesDelivered;
+            env_.chargeStoreAccess(1);
+            store_.withKey(entry.key, [&](KeyRecord &rec) {
+                rec.meta().ts.version += 1;
+                rec.setValue(entry.value);
+            });
+            if (entry.origin == env_.self()) {
+                auto op = clientOps_.find(entry.reqId);
+                if (op != clientOps_.end()) {
+                    WriteCallback cb = std::move(op->second);
+                    clientOps_.erase(op);
+                    ++stats_.writesCommitted;
+                    if (cb)
+                        cb();
+                }
+            }
+        }
+        if (isSequencer()) {
+            roundInFlight_ = false;
+            maybeStartRound();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Message handlers
+// ---------------------------------------------------------------------
+
+void
+LockstepReplica::onMessage(const net::MessagePtr &msg)
+{
+    if (msg->epoch != view_.epoch)
+        return;
+    switch (msg->type()) {
+      case net::MsgType::LockstepSubmit:
+        onSubmit(static_cast<const SubmitMsg &>(*msg));
+        break;
+      case net::MsgType::LockstepRound:
+        onRound(static_cast<const RoundMsg &>(*msg));
+        break;
+      case net::MsgType::LockstepAck:
+        onRoundAck(static_cast<const RoundAckMsg &>(*msg));
+        break;
+      default:
+        panic("LockstepReplica got message type %u",
+              static_cast<unsigned>(msg->type()));
+    }
+}
+
+void
+LockstepReplica::onSubmit(const SubmitMsg &msg)
+{
+    hermes_assert(isSequencer());
+    submitToSequencer(msg.entry);
+}
+
+void
+LockstepReplica::onRound(const RoundMsg &msg)
+{
+    handleRound(msg.round, msg.entries);
+}
+
+void
+LockstepReplica::onRoundAck(const RoundAckMsg &msg)
+{
+    recordRoundAck(msg.round, msg.src);
+}
+
+// ---------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------
+
+void
+LockstepReplica::onViewChange(const membership::MembershipView &view)
+{
+    if (view.epoch <= view_.epoch)
+        return;
+    view_ = view;
+    // Simplified view change (see DESIGN.md): undelivered rounds are
+    // dropped; submitters' callbacks for lost entries never fire, as this
+    // baseline is only evaluated failure-free (Figure 8).
+    rounds_.clear();
+    roundInFlight_ = false;
+    tryDeliver();
+}
+
+} // namespace hermes::lockstep

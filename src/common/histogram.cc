@@ -1,0 +1,131 @@
+#include "common/histogram.hh"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace hermes
+{
+
+namespace
+{
+// Largest index bucketIndex() can produce for a 64-bit value, plus slack.
+constexpr int kNumBuckets = 2048;
+} // namespace
+
+Histogram::Histogram()
+    : buckets_(kNumBuckets, 0), count_(0), sum_(0), min_(0), max_(0)
+{
+}
+
+int
+Histogram::bucketIndex(uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<int>(value);
+    int msb = 63 - std::countl_zero(value);
+    int shift = msb - kSubBucketBits;
+    int sub = static_cast<int>((value >> shift) & (kSubBuckets - 1));
+    return (shift + 1) * kSubBuckets + sub;
+}
+
+uint64_t
+Histogram::bucketMidpoint(int index)
+{
+    if (index < kSubBuckets)
+        return static_cast<uint64_t>(index);
+    int shift = index / kSubBuckets - 1;
+    int sub = index % kSubBuckets;
+    uint64_t base = (static_cast<uint64_t>(kSubBuckets) + sub) << shift;
+    uint64_t width = 1ull << shift;
+    return base + width / 2;
+}
+
+void
+Histogram::record(uint64_t value)
+{
+    recordMany(value, 1);
+}
+
+void
+Histogram::recordMany(uint64_t value, uint64_t count)
+{
+    if (count == 0)
+        return;
+    int idx = bucketIndex(value);
+    hermes_assert(idx < kNumBuckets);
+    buckets_[idx] += count;
+    if (count_ == 0) {
+        min_ = max_ = value;
+    } else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    count_ += count;
+    sum_ += value * count;
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (int i = 0; i < kNumBuckets; ++i)
+        buckets_[i] += other.buckets_[i];
+    if (other.count_ > 0) {
+        if (count_ == 0) {
+            min_ = other.min_;
+            max_ = other.max_;
+        } else {
+            min_ = std::min(min_, other.min_);
+            max_ = std::max(max_, other.max_);
+        }
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = sum_ = min_ = max_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_)
+                  : 0.0;
+}
+
+uint64_t
+Histogram::valueAtQuantile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (target >= count_)
+        target = count_ - 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+        seen += buckets_[i];
+        if (seen > target)
+            return std::clamp(bucketMidpoint(i), min_, max_);
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "p50=%.1fus p99=%.1fus max=%.1fus (n=%llu)",
+                  median() / 1e3, p99() / 1e3, max() / 1e3,
+                  static_cast<unsigned long long>(count_));
+    return buf;
+}
+
+} // namespace hermes

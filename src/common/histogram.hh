@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Log-bucketed latency histogram with percentile queries.
+ *
+ * The paper's latency figures report medians and 99th percentiles over
+ * microsecond-scale request latencies. An HdrHistogram-style log-linear
+ * layout gives <1% relative error across nine decades of nanoseconds with a
+ * few KB of counters and O(1) recording, which keeps the hot path of the
+ * simulated clients cheap.
+ */
+
+#ifndef HERMES_COMMON_HISTOGRAM_HH
+#define HERMES_COMMON_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hermes
+{
+
+/**
+ * Log-linear histogram of non-negative 64-bit samples (nanoseconds by
+ * convention). Each power-of-two decade is split into 32 linear buckets,
+ * bounding relative quantile error at ~3%.
+ */
+class Histogram
+{
+  public:
+    Histogram();
+
+    /** Record one sample. */
+    void record(uint64_t value);
+
+    /** Record @p count identical samples. */
+    void recordMany(uint64_t value, uint64_t count);
+
+    /** Merge another histogram into this one (bucket layouts are fixed). */
+    void merge(const Histogram &other);
+
+    /** Forget all samples. */
+    void reset();
+
+    /** Number of recorded samples. */
+    uint64_t count() const { return count_; }
+
+    /** Smallest recorded sample (0 if empty). */
+    uint64_t min() const { return count_ ? min_ : 0; }
+
+    /** Largest recorded sample (0 if empty). */
+    uint64_t max() const { return count_ ? max_ : 0; }
+
+    /** Arithmetic mean (0 if empty). */
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]; returns the representative value of
+     * the bucket containing the q-th sample (0 if empty).
+     */
+    uint64_t valueAtQuantile(double q) const;
+
+    /** Shorthand for the paper's reporting points. */
+    uint64_t median() const { return valueAtQuantile(0.50); }
+    uint64_t p99() const { return valueAtQuantile(0.99); }
+
+    /** "p50=..us p99=..us max=..us (n=..)" convenience for bench output. */
+    std::string summary() const;
+
+  private:
+    static constexpr int kSubBucketBits = 5;           // 32 buckets/decade
+    static constexpr int kSubBuckets = 1 << kSubBucketBits;
+    static constexpr int kDecades = 40;                // covers [0, 2^40) ns
+
+    static int bucketIndex(uint64_t value);
+    static uint64_t bucketMidpoint(int index);
+
+    std::vector<uint64_t> buckets_;
+    uint64_t count_;
+    uint64_t sum_;
+    uint64_t min_;
+    uint64_t max_;
+};
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_HISTOGRAM_HH

@@ -1,0 +1,95 @@
+#include "common/logging.hh"
+
+#include <cstring>
+#include <mutex>
+
+namespace hermes
+{
+
+namespace log_detail
+{
+
+LogLevel g_level = LogLevel::Warn;
+
+namespace
+{
+std::mutex g_log_mutex;
+
+const char *
+levelTag(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Error: return "ERROR";
+      case LogLevel::Warn:  return "WARN ";
+      case LogLevel::Info:  return "INFO ";
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Trace: return "TRACE";
+    }
+    return "?????";
+}
+} // namespace
+
+void
+write(LogLevel level, const char *fmt, ...)
+{
+    std::lock_guard<std::mutex> guard(g_log_mutex);
+    std::fprintf(stderr, "[%s] ", levelTag(level));
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+}
+
+} // namespace log_detail
+
+void
+setLogLevel(LogLevel level)
+{
+    log_detail::g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return log_detail::g_level;
+}
+
+void
+initLogLevelFromEnv()
+{
+    const char *env = std::getenv("HERMES_LOG");
+    if (!env)
+        return;
+    if (!std::strcmp(env, "error")) setLogLevel(LogLevel::Error);
+    else if (!std::strcmp(env, "warn")) setLogLevel(LogLevel::Warn);
+    else if (!std::strcmp(env, "info")) setLogLevel(LogLevel::Info);
+    else if (!std::strcmp(env, "debug")) setLogLevel(LogLevel::Debug);
+    else if (!std::strcmp(env, "trace")) setLogLevel(LogLevel::Trace);
+}
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "panic: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const char *fmt, ...)
+{
+    std::fprintf(stderr, "fatal: %s:%d: ", file, line);
+    va_list args;
+    va_start(args, fmt);
+    std::vfprintf(stderr, fmt, args);
+    va_end(args);
+    std::fputc('\n', stderr);
+    std::exit(1);
+}
+
+} // namespace hermes

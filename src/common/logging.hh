@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Minimal leveled logging plus gem5-style panic()/fatal() helpers.
+ *
+ * Logging is kept deliberately simple (printf-style, single global level)
+ * because the hot paths of the simulator must stay allocation-free when the
+ * level is off; every macro checks the level before evaluating arguments.
+ */
+
+#ifndef HERMES_COMMON_LOGGING_HH
+#define HERMES_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hermes
+{
+
+/** Severity levels in increasing verbosity. */
+enum class LogLevel : int
+{
+    Error = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+    Trace = 4,
+};
+
+namespace log_detail
+{
+/** Current global verbosity; defaults to Warn, override via env/setLogLevel. */
+extern LogLevel g_level;
+
+/** printf-style sink; prepends the level tag and appends a newline. */
+void write(LogLevel level, const char *fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+} // namespace log_detail
+
+/** Set the global verbosity. Tests raise it; benchmarks keep it at Warn. */
+void setLogLevel(LogLevel level);
+
+/** @return current global verbosity. */
+LogLevel logLevel();
+
+/** Read HERMES_LOG (error|warn|info|debug|trace) once at startup. */
+void initLogLevelFromEnv();
+
+#define HERMES_LOG(level, ...)                                              \
+    do {                                                                    \
+        if (static_cast<int>(level) <=                                      \
+                static_cast<int>(::hermes::logLevel())) {                   \
+            ::hermes::log_detail::write(level, __VA_ARGS__);                \
+        }                                                                   \
+    } while (0)
+
+#define LOG_ERROR(...) HERMES_LOG(::hermes::LogLevel::Error, __VA_ARGS__)
+#define LOG_WARN(...)  HERMES_LOG(::hermes::LogLevel::Warn, __VA_ARGS__)
+#define LOG_INFO(...)  HERMES_LOG(::hermes::LogLevel::Info, __VA_ARGS__)
+#define LOG_DEBUG(...) HERMES_LOG(::hermes::LogLevel::Debug, __VA_ARGS__)
+#define LOG_TRACE(...) HERMES_LOG(::hermes::LogLevel::Trace, __VA_ARGS__)
+
+/**
+ * panic: an internal invariant was violated (a bug in this library).
+ * Prints the message with source location and aborts.
+ */
+[[noreturn]] void panicImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+/**
+ * fatal: the caller misconfigured the system (user error, not a bug).
+ * Prints the message and exits with status 1.
+ */
+[[noreturn]] void fatalImpl(const char *file, int line, const char *fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define panic(...) ::hermes::panicImpl(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::hermes::fatalImpl(__FILE__, __LINE__, __VA_ARGS__)
+
+/** assert-like check that stays on in release builds. */
+#define hermes_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hermes::panicImpl(__FILE__, __LINE__,                         \
+                                "assertion failed: %s", #cond);             \
+        }                                                                   \
+    } while (0)
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_LOGGING_HH

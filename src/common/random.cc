@@ -1,0 +1,155 @@
+#include "common/random.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hermes
+{
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+mix64(uint64_t x)
+{
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    x *= 0xC4CEB9FE1A85EC53ull;
+    x ^= x >> 33;
+    return x;
+}
+
+void
+Rng::reseed(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+namespace
+{
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    hermes_assert(bound > 0);
+    // Lemire's multiply-shift; the slight modulo bias of the plain method
+    // is unacceptable for the statistical tests on the workload generators.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    uint64_t lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+        uint64_t threshold = -bound % bound;
+        while (lo < threshold) {
+            m = static_cast<__uint128_t>(next()) * bound;
+            lo = static_cast<uint64_t>(m);
+        }
+    }
+    return static_cast<uint64_t>(m >> 64);
+}
+
+uint64_t
+Rng::nextRange(uint64_t lo, uint64_t hi)
+{
+    hermes_assert(lo <= hi);
+    return lo + nextBounded(hi - lo + 1);
+}
+
+double
+Rng::nextDouble()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u;
+    do {
+        u = nextDouble();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+namespace
+{
+double
+zeta(uint64_t n, double theta)
+{
+    double sum = 0.0;
+    for (uint64_t i = 1; i <= n; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+}
+} // namespace
+
+ZipfianGenerator::ZipfianGenerator(uint64_t num_items, double theta)
+    : numItems_(num_items), theta_(theta)
+{
+    hermes_assert(num_items > 0);
+    hermes_assert(theta >= 0.0 && theta < 1.0);
+    zetaN_ = zeta(num_items, theta);
+    zeta2_ = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(num_items), 1.0 - theta))
+           / (1.0 - zeta2_ / zetaN_);
+}
+
+uint64_t
+ZipfianGenerator::next(Rng &rng) const
+{
+    // Gray et al. "Quickly generating billion-record synthetic databases".
+    double u = rng.nextDouble();
+    double uz = u * zetaN_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto rank = static_cast<uint64_t>(
+        static_cast<double>(numItems_)
+        * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= numItems_ ? numItems_ - 1 : rank;
+}
+
+double
+ZipfianGenerator::probabilityOfRank(uint64_t rank) const
+{
+    hermes_assert(rank < numItems_);
+    return (1.0 / std::pow(static_cast<double>(rank + 1), theta_)) / zetaN_;
+}
+
+} // namespace hermes

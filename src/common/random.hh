@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and workload-oriented
+ * distributions (uniform, exponential, Zipfian).
+ *
+ * Every stochastic component in the library (network jitter, workload key
+ * choice, fault injection) draws from an explicitly seeded Rng so that
+ * simulations are bit-for-bit reproducible given a seed — a requirement for
+ * the property-based protocol tests, which replay failing seeds.
+ */
+
+#ifndef HERMES_COMMON_RANDOM_HH
+#define HERMES_COMMON_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace hermes
+{
+
+/**
+ * xoshiro256** PRNG seeded via SplitMix64.
+ *
+ * Small, fast, and of far better quality than std::minstd; std::mt19937 is
+ * avoided because its 2.5KB state hurts when every simulated node owns a
+ * generator.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+    /** Re-initialize the state from a 64-bit seed via SplitMix64. */
+    void reseed(uint64_t seed);
+
+    /** @return next raw 64-bit output. */
+    uint64_t next();
+
+    /** @return uniform integer in [0, bound) using Lemire reduction. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** @return uniform integer in [lo, hi] inclusive. */
+    uint64_t nextRange(uint64_t lo, uint64_t hi);
+
+    /** @return uniform double in [0, 1). */
+    double nextDouble();
+
+    /** @return true with probability @p p. */
+    bool nextBool(double p);
+
+    /** @return exponentially distributed double with the given mean. */
+    double nextExponential(double mean);
+
+  private:
+    uint64_t s_[4];
+};
+
+/**
+ * Zipfian key-popularity generator as used by YCSB (paper §6.2 evaluates
+ * Zipfian exponent 0.99).
+ *
+ * Uses the Gray et al. rejection-free method with a precomputed zeta(n,
+ * theta); construction is O(n) once, sampling is O(1). Rank 0 is the
+ * hottest key; callers typically scatter ranks over the key space with a
+ * multiplicative hash so that hot keys are not physically adjacent.
+ */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param num_items size of the key universe (> 0)
+     * @param theta     Zipfian exponent in [0, 1); 0 degenerates to uniform
+     */
+    ZipfianGenerator(uint64_t num_items, double theta);
+
+    /** @return a rank in [0, numItems()), rank 0 most popular. */
+    uint64_t next(Rng &rng) const;
+
+    uint64_t numItems() const { return numItems_; }
+    double theta() const { return theta_; }
+
+    /** Analytic popularity of a rank; used by tests to validate sampling. */
+    double probabilityOfRank(uint64_t rank) const;
+
+  private:
+    uint64_t numItems_;
+    double theta_;
+    double zetaN_;
+    double zeta2_;
+    double alpha_;
+    double eta_;
+};
+
+/** SplitMix64 step; also used standalone to derive per-node seeds. */
+uint64_t splitmix64(uint64_t &state);
+
+/** Strong 64-bit mix (used to scatter Zipfian ranks over the key space). */
+uint64_t mix64(uint64_t x);
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_RANDOM_HH

@@ -1,0 +1,64 @@
+#include "common/serialize.hh"
+
+namespace hermes
+{
+
+void
+BufWriter::putString(const std::string &s)
+{
+    putU32(static_cast<uint32_t>(s.size()));
+    putBytes(s.data(), s.size());
+}
+
+void
+BufWriter::putRaw(const void *data, size_t len)
+{
+    putBytes(data, len);
+}
+
+uint8_t
+BufReader::getU8()
+{
+    uint8_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+uint16_t
+BufReader::getU16()
+{
+    uint16_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+uint32_t
+BufReader::getU32()
+{
+    uint32_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+uint64_t
+BufReader::getU64()
+{
+    uint64_t v = 0;
+    take(&v, sizeof(v));
+    return v;
+}
+
+std::string
+BufReader::getString()
+{
+    uint32_t n = getU32();
+    if (!ok_ || len_ - pos_ < n) {
+        ok_ = false;
+        return {};
+    }
+    std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+}
+
+} // namespace hermes

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bounds-checked binary serialization used by the TCP transport.
+ *
+ * Fixed-width little-endian encoding; no varints, no reflection. Messages
+ * here are small and fixed-shape (INV/ACK/VAL and friends), so the simple
+ * scheme is both the fastest and the easiest to audit. The simulated
+ * transport passes message objects by value and never serializes.
+ */
+
+#ifndef HERMES_COMMON_SERIALIZE_HH
+#define HERMES_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace hermes
+{
+
+/** Append-only byte sink. */
+class BufWriter
+{
+  public:
+    explicit BufWriter(std::vector<uint8_t> &out) : out_(out) {}
+
+    void putU8(uint8_t v) { out_.push_back(v); }
+    void putU16(uint16_t v) { putBytes(&v, sizeof(v)); }
+    void putU32(uint32_t v) { putBytes(&v, sizeof(v)); }
+    void putU64(uint64_t v) { putBytes(&v, sizeof(v)); }
+
+    /** Length-prefixed (u32) byte string. */
+    void putString(const std::string &s);
+
+    /** Raw bytes with no length prefix (caller knows the shape). */
+    void putRaw(const void *data, size_t len);
+
+    size_t size() const { return out_.size(); }
+
+  private:
+    void
+    putBytes(const void *p, size_t n)
+    {
+        const auto *bytes = static_cast<const uint8_t *>(p);
+        out_.insert(out_.end(), bytes, bytes + n);
+    }
+
+    std::vector<uint8_t> &out_;
+};
+
+/**
+ * Bounds-checked byte source. All getters set ok() to false (and return
+ * zero values) on underrun instead of reading out of bounds, so a truncated
+ * or corrupt frame can never crash a replica — it is detected and the frame
+ * dropped, which every protocol here already tolerates as message loss.
+ */
+class BufReader
+{
+  public:
+    BufReader(const uint8_t *data, size_t len)
+        : data_(data), len_(len), pos_(0), ok_(true)
+    {}
+
+    uint8_t getU8();
+    uint16_t getU16();
+    uint32_t getU32();
+    uint64_t getU64();
+    std::string getString();
+
+    /** @return false once any read ran past the end. */
+    bool ok() const { return ok_; }
+
+    /** @return true when every byte was consumed and no read failed. */
+    bool exhausted() const { return ok_ && pos_ == len_; }
+
+    size_t remaining() const { return len_ - pos_; }
+
+  private:
+    bool
+    take(void *out, size_t n)
+    {
+        if (!ok_ || len_ - pos_ < n) {
+            ok_ = false;
+            std::memset(out, 0, n);
+            return false;
+        }
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+        return true;
+    }
+
+    const uint8_t *data_;
+    size_t len_;
+    size_t pos_;
+    bool ok_;
+};
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_SERIALIZE_HH

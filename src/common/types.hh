@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental identifier and time types shared by every module.
+ *
+ * The whole library is built around message-passing replicas identified by
+ * small dense integer ids. Simulated time is kept in nanoseconds so that the
+ * discrete-event simulator, the cost model and the latency histograms all
+ * speak the same unit.
+ */
+
+#ifndef HERMES_COMMON_TYPES_HH
+#define HERMES_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace hermes
+{
+
+/** Dense replica identifier, 0-based within a replica group. */
+using NodeId = uint32_t;
+
+/** Sentinel for "no node". */
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+/** Application key. The stores index by 64-bit keys (the paper uses 8B keys). */
+using Key = uint64_t;
+
+/** Application value. Variable length; the paper sweeps 32B..1KB objects. */
+using Value = std::string;
+
+/** Membership epoch id, incremented on every reliable membership update. */
+using Epoch = uint32_t;
+
+/** Simulated or wall-clock time point in nanoseconds. */
+using TimeNs = uint64_t;
+
+/** Duration in nanoseconds. */
+using DurationNs = uint64_t;
+
+/** Convenience literals for building durations. */
+constexpr DurationNs operator""_ns(unsigned long long v) { return v; }
+constexpr DurationNs operator""_us(unsigned long long v) { return v * 1000ull; }
+constexpr DurationNs operator""_ms(unsigned long long v) { return v * 1000000ull; }
+constexpr DurationNs operator""_s(unsigned long long v) { return v * 1000000000ull; }
+
+/** A set of live nodes, kept sorted. Small (3-7 entries) so a vector wins. */
+using NodeSet = std::vector<NodeId>;
+
+/** @return true iff @p node is a member of the sorted @p set. */
+inline bool
+contains(const NodeSet &set, NodeId node)
+{
+    for (NodeId n : set)
+        if (n == node)
+            return true;
+    return false;
+}
+
+} // namespace hermes
+
+#endif // HERMES_COMMON_TYPES_HH

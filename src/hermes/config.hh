@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tunables of the Hermes protocol, including the paper's optimizations
+ * (§3.3) as independent switches so the ablation benchmarks can isolate
+ * each one.
+ */
+
+#ifndef HERMES_HERMES_CONFIG_HH
+#define HERMES_HERMES_CONFIG_HH
+
+#include "common/types.hh"
+
+namespace hermes::proto
+{
+
+/** Protocol knobs for one HermesReplica. */
+struct HermesConfig
+{
+    /**
+     * Message-loss timeout (§3.4): the interval within which every update
+     * is expected to complete. A coordinator whose update is still pending
+     * after mlt retransmits its INV broadcast; a stalled request that
+     * still finds its key non-Valid after mlt triggers a write replay.
+     * Calibrate well above the RTT to avoid spurious replays.
+     */
+    DurationNs mlt = 400_us;
+
+    /**
+     * O1 — eliminating unnecessary validations: a coordinator that
+     * completed its ACK round but saw a concurrent higher-timestamped
+     * write (key in Trans) skips the VAL broadcast.
+     */
+    bool skipValOnConflict = true;
+
+    /**
+     * O2 — fairness via virtual node ids: each physical node owns this
+     * many virtual cids (vid = k * numNodes + self) and picks one at
+     * random per write, so concurrent-write tie-breaks stop favouring
+     * high physical ids. 1 disables the scheme (cid = self).
+     */
+    unsigned virtualIdsPerNode = 1;
+
+    /**
+     * O3 — reducing blocking latency: followers broadcast ACKs to all
+     * replicas; a follower holding all live ACKs for its local timestamp
+     * validates the key without waiting for the VAL, and coordinators
+     * skip VAL broadcasts entirely.
+     */
+    bool ackBroadcast = false;
+
+    /**
+     * Ablation only (not part of Hermes): when false, a node allows a
+     * single outstanding coordinated update at a time, emulating the
+     * write serialization of leader-based designs to quantify the value
+     * of Hermes' inter-key concurrency.
+     */
+    bool interKeyConcurrency = true;
+
+    /**
+     * §8 — Hermes without loosely synchronized clocks: linearizable
+     * reads no longer rely on an RM lease. A read executes speculatively
+     * and is returned only once this node proves it belongs to the
+     * latest membership, by collecting same-epoch acknowledgments from a
+     * majority of replicas (a header-only epoch-check round, batched
+     * over concurrently speculating reads). Trades ~0.5 RTT of read
+     * latency for lease-freedom.
+     */
+    bool lscFreeReads = false;
+
+    /** Total physical nodes (needed to lay out the virtual id space). */
+    unsigned numNodes = 0;
+};
+
+} // namespace hermes::proto
+
+#endif // HERMES_HERMES_CONFIG_HH

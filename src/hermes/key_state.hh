@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The per-key protocol states of Hermes (paper §3.2, Figure 3).
+ */
+
+#ifndef HERMES_HERMES_KEY_STATE_HH
+#define HERMES_HERMES_KEY_STATE_HH
+
+#include <cstdint>
+
+namespace hermes::proto
+{
+
+/**
+ * Hermes' four stable states plus the transient Trans state.
+ *
+ * - Valid: the local value is the most recent committed one; reads served.
+ * - Invalid: an INV with a higher timestamp arrived; reads stall.
+ * - Write: this node coordinates a write to the key (awaiting ACKs).
+ * - Replay: this node replays an interrupted write (awaiting ACKs).
+ * - Trans: a coordinator/replayer whose own update got invalidated by a
+ *   concurrent higher-timestamped one; used to notify the original client
+ *   when its (linearized-earlier) write completes.
+ */
+enum class KeyState : uint8_t
+{
+    Valid = 0,
+    Invalid = 1,
+    Write = 2,
+    Replay = 3,
+    Trans = 4,
+};
+
+/** Bit stored in KeyMeta::flags when the last update was an RMW (§3.6). */
+constexpr uint8_t kRmwFlag = 0x1;
+
+inline const char *
+keyStateName(KeyState state)
+{
+    switch (state) {
+      case KeyState::Valid: return "Valid";
+      case KeyState::Invalid: return "Invalid";
+      case KeyState::Write: return "Write";
+      case KeyState::Replay: return "Replay";
+      case KeyState::Trans: return "Trans";
+    }
+    return "?";
+}
+
+} // namespace hermes::proto
+
+#endif // HERMES_HERMES_KEY_STATE_HH

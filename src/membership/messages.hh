@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Wire messages of the reliable-membership (RM) service: heartbeats plus
+ * the single-decree Paxos exchange that decides each m-update.
+ */
+
+#ifndef HERMES_MEMBERSHIP_MESSAGES_HH
+#define HERMES_MEMBERSHIP_MESSAGES_HH
+
+#include <optional>
+
+#include "membership/paxos.hh"
+#include "membership/view.hh"
+#include "net/message.hh"
+
+namespace hermes::membership
+{
+
+/** Liveness beacon; the envelope epoch doubles as the sender's view. */
+struct RmHeartbeatMsg : net::Message
+{
+    RmHeartbeatMsg() : Message(net::MsgType::RmHeartbeat) {}
+
+    size_t payloadSize() const override { return 0; }
+    void serializePayload(BufWriter &) const override {}
+};
+
+/** Paxos phase 1a for the decision instance creating @ref targetEpoch. */
+struct RmPrepareMsg : net::Message
+{
+    RmPrepareMsg() : Message(net::MsgType::RmPrepare) {}
+
+    Epoch targetEpoch = 0;
+    Ballot ballot;
+
+    size_t payloadSize() const override { return 12; }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU32(targetEpoch);
+        writer.putU32(ballot.round);
+        writer.putU32(ballot.node);
+    }
+};
+
+/** Paxos phase 1b. */
+struct RmPromiseMsg : net::Message
+{
+    RmPromiseMsg() : Message(net::MsgType::RmPromise) {}
+
+    Epoch targetEpoch = 0;
+    Ballot ballot;                       ///< the prepare this answers
+    PaxosAcceptor::PrepareReply reply;
+
+    size_t payloadSize() const override;
+    void serializePayload(BufWriter &writer) const override;
+};
+
+/** Paxos phase 2a. */
+struct RmAcceptMsg : net::Message
+{
+    RmAcceptMsg() : Message(net::MsgType::RmAccept) {}
+
+    Epoch targetEpoch = 0;
+    Ballot ballot;
+    MembershipView value;
+
+    size_t payloadSize() const override;
+    void serializePayload(BufWriter &writer) const override;
+};
+
+/** Paxos phase 2b. */
+struct RmAcceptedMsg : net::Message
+{
+    RmAcceptedMsg() : Message(net::MsgType::RmAccepted) {}
+
+    Epoch targetEpoch = 0;
+    Ballot ballot;
+    PaxosAcceptor::AcceptReply reply{false, {}};
+
+    size_t payloadSize() const override { return 12 + 9; }
+    void serializePayload(BufWriter &writer) const override;
+};
+
+/** Learn a decided m-update (also used for anti-entropy on lag). */
+struct RmDecideMsg : net::Message
+{
+    RmDecideMsg() : Message(net::MsgType::RmDecide) {}
+
+    MembershipView view;
+
+    size_t payloadSize() const override { return 8 + 4 * view.live.size(); }
+    void serializePayload(BufWriter &writer) const override;
+};
+
+/** Register decoders for all RM message types (idempotent). */
+void registerRmCodecs();
+
+} // namespace hermes::membership
+
+#endif // HERMES_MEMBERSHIP_MESSAGES_HH

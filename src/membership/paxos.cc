@@ -1,0 +1,101 @@
+#include "membership/paxos.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::membership
+{
+
+PaxosAcceptor::PrepareReply
+PaxosAcceptor::onPrepare(const Ballot &ballot)
+{
+    if (promised_ && *promised_ >= ballot)
+        return {false, *promised_, acceptedBallot_, acceptedValue_};
+    promised_ = ballot;
+    return {true, ballot, acceptedBallot_, acceptedValue_};
+}
+
+PaxosAcceptor::AcceptReply
+PaxosAcceptor::onAccept(const Ballot &ballot, const MembershipView &value)
+{
+    if (promised_ && *promised_ > ballot)
+        return {false, *promised_};
+    promised_ = ballot;
+    acceptedBallot_ = ballot;
+    acceptedValue_ = value;
+    return {true, ballot};
+}
+
+PaxosProposer::PaxosProposer(NodeId self, size_t quorum)
+    : self_(self), quorum_(quorum)
+{
+    hermes_assert(quorum > 0);
+}
+
+Ballot
+PaxosProposer::startRound(const MembershipView &value)
+{
+    ++roundCounter_;
+    ballot_ = Ballot{roundCounter_, self_};
+    value_ = value;
+    promisesFrom_.clear();
+    acceptsFrom_.clear();
+    highestAccepted_.reset();
+    acceptPhase_ = false;
+    sawHigher_ = false;
+    return ballot_;
+}
+
+std::optional<MembershipView>
+PaxosProposer::onPrepareReply(NodeId from,
+                              const PaxosAcceptor::PrepareReply &reply)
+{
+    if (acceptPhase_)
+        return std::nullopt;
+    if (!reply.ok) {
+        if (reply.promised > ballot_) {
+            sawHigher_ = true;
+            // Jump past the competing round so the next startRound wins.
+            roundCounter_ = std::max(roundCounter_, reply.promised.round);
+        }
+        return std::nullopt;
+    }
+    if (contains(promisesFrom_, from))
+        return std::nullopt;
+    promisesFrom_.push_back(from);
+    // Value-adoption rule: a promise revealing a previously accepted value
+    // with the highest accepted ballot forces us to push that value.
+    if (reply.acceptedBallot && reply.acceptedValue
+            && (!highestAccepted_
+                || *reply.acceptedBallot > *highestAccepted_)) {
+        highestAccepted_ = *reply.acceptedBallot;
+        value_ = *reply.acceptedValue;
+    }
+    if (promisesFrom_.size() >= quorum_) {
+        acceptPhase_ = true;
+        return value_;
+    }
+    return std::nullopt;
+}
+
+std::optional<MembershipView>
+PaxosProposer::onAcceptReply(NodeId from,
+                             const PaxosAcceptor::AcceptReply &reply)
+{
+    if (!acceptPhase_)
+        return std::nullopt;
+    if (!reply.ok) {
+        if (reply.promised > ballot_) {
+            sawHigher_ = true;
+            roundCounter_ = std::max(roundCounter_, reply.promised.round);
+        }
+        return std::nullopt;
+    }
+    if (contains(acceptsFrom_, from))
+        return std::nullopt;
+    acceptsFrom_.push_back(from);
+    if (acceptsFrom_.size() >= quorum_)
+        return value_;
+    return std::nullopt;
+}
+
+} // namespace hermes::membership

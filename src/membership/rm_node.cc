@@ -1,0 +1,314 @@
+#include "membership/rm_node.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::membership
+{
+
+RmNode::RmNode(net::Env &env, MembershipView initial, RmConfig config)
+    : env_(env), view_(std::move(initial)), config_(config)
+{
+    registerRmCodecs();
+}
+
+void
+RmNode::start()
+{
+    TimeNs now = env_.now();
+    for (NodeId n : view_.live)
+        lastHeard_[n] = now;
+    heartbeatTick();
+}
+
+bool
+RmNode::leaseValid() const
+{
+    TimeNs now = env_.now();
+    size_t fresh = 0;
+    for (NodeId n : view_.live) {
+        if (n == env_.self()) {
+            ++fresh;
+            continue;
+        }
+        auto it = lastHeard_.find(n);
+        if (it != lastHeard_.end()
+                && now - it->second <= config_.leaseDuration) {
+            ++fresh;
+        }
+    }
+    return fresh >= view_.quorum();
+}
+
+bool
+RmNode::operational() const
+{
+    return view_.isLive(env_.self()) && leaseValid();
+}
+
+void
+RmNode::heartbeatTick()
+{
+    auto beacon = std::make_shared<RmHeartbeatMsg>();
+    beacon->epoch = view_.epoch;
+    env_.broadcast(view_.live, beacon);
+
+    updateSuspects();
+
+    // Proposer duty falls on the lowest live non-suspected node; everyone
+    // else stands by (Paxos keeps duelling proposers safe regardless, and
+    // if the designated proposer dies it becomes a suspect itself, moving
+    // the duty along).
+    if (!suspects_.empty() && view_.isLive(env_.self())) {
+        NodeId designated = kInvalidNode;
+        for (NodeId n : view_.live) {
+            if (!contains(suspects_, n)) {
+                designated = n;
+                break;
+            }
+        }
+        if (designated == env_.self()) {
+            if (!leaseWaitUntil_) {
+                // An m-update may only commit after every lease that the
+                // suspects could still hold has expired (§2.4).
+                leaseWaitUntil_ = env_.now() + config_.leaseDuration;
+            }
+            if (env_.now() >= *leaseWaitUntil_ && !proposer_) {
+                MembershipView target = view_;
+                for (NodeId s : suspects_)
+                    target = target.without(s);
+                target.epoch = view_.epoch + 1;
+                beginProposal(target);
+            }
+        }
+    }
+
+    // Stuck-round escalation with jitter to break proposer duels.
+    if (proposer_
+            && env_.now() - lastRoundStart_
+                   > config_.proposalRetry
+                         + env_.rng().nextBounded(config_.proposalRetry)) {
+        proposer_->startRound(proposalTarget_);
+        lastRoundStart_ = env_.now();
+        sendPrepares();
+    }
+
+    env_.setTimer(config_.heartbeatInterval, [this] { heartbeatTick(); });
+}
+
+void
+RmNode::updateSuspects()
+{
+    TimeNs now = env_.now();
+    suspects_.clear();
+    for (NodeId n : view_.live) {
+        if (n == env_.self())
+            continue;
+        auto it = lastHeard_.find(n);
+        TimeNs heard = it == lastHeard_.end() ? 0 : it->second;
+        if (now - heard > config_.failureTimeout)
+            suspects_.push_back(n);
+    }
+    if (suspects_.empty())
+        leaseWaitUntil_.reset();
+}
+
+void
+RmNode::beginProposal(MembershipView target)
+{
+    LOG_INFO("rm %u proposing m-update to %s", env_.self(),
+             target.toString().c_str());
+    proposalEpoch_ = target.epoch;
+    proposalTarget_ = target;
+    proposer_.emplace(env_.self(), view_.quorum());
+    proposer_->startRound(target);
+    lastRoundStart_ = env_.now();
+    sendPrepares();
+}
+
+void
+RmNode::sendPrepares()
+{
+    auto msg = std::make_shared<RmPrepareMsg>();
+    msg->src = env_.self();
+    msg->epoch = view_.epoch;
+    msg->targetEpoch = proposalEpoch_;
+    msg->ballot = proposer_->ballot();
+    env_.broadcast(view_.live, msg);
+    // Self-deliver: this node is an acceptor of its own proposal.
+    handlePrepare(*msg);
+}
+
+void
+RmNode::sendAccepts()
+{
+    auto msg = std::make_shared<RmAcceptMsg>();
+    msg->src = env_.self();
+    msg->epoch = view_.epoch;
+    msg->targetEpoch = proposalEpoch_;
+    msg->ballot = proposer_->ballot();
+    msg->value = proposer_->value();
+    env_.broadcast(view_.live, msg);
+    handleAccept(*msg);
+}
+
+void
+RmNode::decide(const MembershipView &value)
+{
+    LOG_INFO("rm %u decided %s", env_.self(), value.toString().c_str());
+    auto msg = std::make_shared<RmDecideMsg>();
+    msg->epoch = view_.epoch;
+    msg->view = value;
+    // Tell the union of old and new members (removed nodes learn they are
+    // out; added nodes learn they are in).
+    NodeSet audience = view_.live;
+    for (NodeId n : value.live) {
+        if (!contains(audience, n))
+            audience.push_back(n);
+    }
+    env_.broadcast(audience, msg);
+    adopt(value);
+}
+
+void
+RmNode::adopt(const MembershipView &value)
+{
+    if (value.epoch <= view_.epoch)
+        return;
+    view_ = value;
+    TimeNs now = env_.now();
+    for (NodeId n : view_.live) {
+        // Grace period for everyone in the fresh view.
+        lastHeard_[n] = now;
+    }
+    suspects_.clear();
+    leaseWaitUntil_.reset();
+    if (proposer_ && proposalEpoch_ <= view_.epoch)
+        proposer_.reset();
+    if (viewChange_)
+        viewChange_(view_);
+}
+
+void
+RmNode::proposeAddition(NodeId node)
+{
+    if (proposer_ || view_.isLive(node))
+        return;
+    beginProposal(view_.withAdded(node));
+}
+
+void
+RmNode::onMessage(const net::MessagePtr &msg)
+{
+    switch (msg->type()) {
+      case net::MsgType::RmHeartbeat:
+        handleHeartbeat(msg);
+        break;
+      case net::MsgType::RmPrepare:
+        handlePrepare(static_cast<const RmPrepareMsg &>(*msg));
+        break;
+      case net::MsgType::RmPromise:
+        handlePromise(static_cast<const RmPromiseMsg &>(*msg));
+        break;
+      case net::MsgType::RmAccept:
+        handleAccept(static_cast<const RmAcceptMsg &>(*msg));
+        break;
+      case net::MsgType::RmAccepted:
+        handleAccepted(static_cast<const RmAcceptedMsg &>(*msg));
+        break;
+      case net::MsgType::RmDecide:
+        handleDecide(static_cast<const RmDecideMsg &>(*msg));
+        break;
+      default:
+        panic("RmNode got non-RM message type %u",
+              static_cast<unsigned>(msg->type()));
+    }
+}
+
+void
+RmNode::handleHeartbeat(const net::MessagePtr &msg)
+{
+    lastHeard_[msg->src] = env_.now();
+    // Anti-entropy: a sender on an older epoch missed an m-update.
+    if (msg->epoch < view_.epoch) {
+        auto decide_msg = std::make_shared<RmDecideMsg>();
+        decide_msg->epoch = view_.epoch;
+        decide_msg->view = view_;
+        env_.send(msg->src, decide_msg);
+    }
+}
+
+void
+RmNode::handlePrepare(const RmPrepareMsg &msg)
+{
+    if (msg.targetEpoch <= view_.epoch) {
+        // Instance already decided here; teach the proposer.
+        auto decide_msg = std::make_shared<RmDecideMsg>();
+        decide_msg->epoch = view_.epoch;
+        decide_msg->view = view_;
+        if (msg.src != env_.self() && msg.src != kInvalidNode)
+            env_.send(msg.src, decide_msg);
+        return;
+    }
+    auto reply = std::make_shared<RmPromiseMsg>();
+    reply->epoch = view_.epoch;
+    reply->targetEpoch = msg.targetEpoch;
+    reply->ballot = msg.ballot;
+    reply->reply = acceptors_[msg.targetEpoch].onPrepare(msg.ballot);
+    if (msg.src == env_.self()) {
+        handlePromise(*reply);
+    } else {
+        env_.send(msg.src, reply);
+    }
+}
+
+void
+RmNode::handlePromise(const RmPromiseMsg &msg)
+{
+    if (!proposer_ || msg.targetEpoch != proposalEpoch_
+            || msg.ballot != proposer_->ballot()) {
+        return;
+    }
+    NodeId from = msg.src == kInvalidNode ? env_.self() : msg.src;
+    if (auto value = proposer_->onPrepareReply(from, msg.reply))
+        sendAccepts();
+}
+
+void
+RmNode::handleAccept(const RmAcceptMsg &msg)
+{
+    if (msg.targetEpoch <= view_.epoch)
+        return;
+    auto reply = std::make_shared<RmAcceptedMsg>();
+    reply->epoch = view_.epoch;
+    reply->targetEpoch = msg.targetEpoch;
+    reply->ballot = msg.ballot;
+    reply->reply = acceptors_[msg.targetEpoch].onAccept(msg.ballot,
+                                                        msg.value);
+    if (msg.src == env_.self()) {
+        handleAccepted(*reply);
+    } else {
+        env_.send(msg.src, reply);
+    }
+}
+
+void
+RmNode::handleAccepted(const RmAcceptedMsg &msg)
+{
+    if (!proposer_ || msg.targetEpoch != proposalEpoch_
+            || msg.ballot != proposer_->ballot()) {
+        return;
+    }
+    NodeId from = msg.src == kInvalidNode ? env_.self() : msg.src;
+    if (auto value = proposer_->onAcceptReply(from, msg.reply))
+        decide(*value);
+}
+
+void
+RmNode::handleDecide(const RmDecideMsg &msg)
+{
+    adopt(msg.view);
+}
+
+} // namespace hermes::membership

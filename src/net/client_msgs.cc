@@ -1,0 +1,27 @@
+#include "net/client_msgs.hh"
+
+namespace hermes::net
+{
+
+void
+registerClientCodecs()
+{
+    registerDecoder(MsgType::ClientRequest, [](BufReader &reader) {
+        auto msg = std::make_shared<ClientRequestMsg>();
+        msg->op = static_cast<ClientRequestMsg::Op>(reader.getU8());
+        msg->reqId = reader.getU64();
+        msg->key = reader.getU64();
+        msg->value = reader.getString();
+        msg->expected = reader.getString();
+        return msg;
+    });
+    registerDecoder(MsgType::ClientReply, [](BufReader &reader) {
+        auto msg = std::make_shared<ClientReplyMsg>();
+        msg->reqId = reader.getU64();
+        msg->ok = reader.getU8() != 0;
+        msg->value = reader.getString();
+        return msg;
+    });
+}
+
+} // namespace hermes::net

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Client-facing request/reply framing for the TCP deployment: external
+ * clients connect to any replica's port and issue reads, writes and CAS
+ * RMWs over the same Wings framing the replicas use among themselves.
+ */
+
+#ifndef HERMES_NET_CLIENT_MSGS_HH
+#define HERMES_NET_CLIENT_MSGS_HH
+
+#include "net/message.hh"
+
+namespace hermes::net
+{
+
+/** One client operation. */
+struct ClientRequestMsg : Message
+{
+    enum class Op : uint8_t { Read = 0, Write = 1, Cas = 2 };
+
+    ClientRequestMsg() : Message(MsgType::ClientRequest) {}
+
+    Op op = Op::Read;
+    uint64_t reqId = 0;
+    Key key = 0;
+    Value value;    ///< write value / CAS desired
+    Value expected; ///< CAS expected
+
+    size_t payloadSize() const override
+    {
+        return 1 + 8 + 8 + 4 + value.size() + 4 + expected.size();
+    }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU8(static_cast<uint8_t>(op));
+        writer.putU64(reqId);
+        writer.putU64(key);
+        writer.putString(value);
+        writer.putString(expected);
+    }
+};
+
+/** Completion of a client operation. */
+struct ClientReplyMsg : Message
+{
+    ClientReplyMsg() : Message(MsgType::ClientReply) {}
+
+    uint64_t reqId = 0;
+    bool ok = true;  ///< CAS: applied; read/write: always true
+    Value value;     ///< read result / CAS observed value
+
+    size_t payloadSize() const override { return 8 + 1 + 4 + value.size(); }
+
+    void
+    serializePayload(BufWriter &writer) const override
+    {
+        writer.putU64(reqId);
+        writer.putU8(ok ? 1 : 0);
+        writer.putString(value);
+    }
+};
+
+/** Register decoders for the client framing (idempotent). */
+void registerClientCodecs();
+
+} // namespace hermes::net
+
+#endif // HERMES_NET_CLIENT_MSGS_HH

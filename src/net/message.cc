@@ -1,0 +1,102 @@
+#include "net/message.hh"
+
+#include <map>
+
+#include "common/logging.hh"
+
+namespace hermes::net
+{
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::HermesInv: return "INV";
+      case MsgType::HermesAck: return "ACK";
+      case MsgType::HermesVal: return "VAL";
+      case MsgType::HermesStateReq: return "STATE_REQ";
+      case MsgType::HermesStateChunk: return "STATE_CHUNK";
+      case MsgType::HermesEpochCheck: return "EPOCH_CHECK";
+      case MsgType::HermesEpochCheckAck: return "EPOCH_CHECK_ACK";
+      case MsgType::CraqWrite: return "CRAQ_WRITE";
+      case MsgType::CraqWriteAck: return "CRAQ_WACK";
+      case MsgType::CraqVersionQuery: return "CRAQ_VQ";
+      case MsgType::CraqVersionReply: return "CRAQ_VR";
+      case MsgType::CraqForward: return "CRAQ_FWD";
+      case MsgType::ZabForward: return "ZAB_FWD";
+      case MsgType::ZabPropose: return "ZAB_PROP";
+      case MsgType::ZabAck: return "ZAB_ACK";
+      case MsgType::ZabCommit: return "ZAB_COMMIT";
+      case MsgType::LockstepSubmit: return "LS_SUBMIT";
+      case MsgType::LockstepRound: return "LS_ROUND";
+      case MsgType::LockstepAck: return "LS_ACK";
+      case MsgType::RmHeartbeat: return "RM_HB";
+      case MsgType::RmPrepare: return "RM_PREPARE";
+      case MsgType::RmPromise: return "RM_PROMISE";
+      case MsgType::RmAccept: return "RM_ACCEPT";
+      case MsgType::RmAccepted: return "RM_ACCEPTED";
+      case MsgType::RmDecide: return "RM_DECIDE";
+      case MsgType::ClientRequest: return "CLIENT_REQ";
+      case MsgType::ClientReply: return "CLIENT_REP";
+    }
+    return "UNKNOWN";
+}
+
+namespace
+{
+std::map<MsgType, MessageDecoder> &
+decoderRegistry()
+{
+    static std::map<MsgType, MessageDecoder> registry;
+    return registry;
+}
+} // namespace
+
+void
+registerDecoder(MsgType type, MessageDecoder decoder)
+{
+    decoderRegistry()[type] = std::move(decoder);
+}
+
+const MessageDecoder *
+findDecoder(MsgType type)
+{
+    auto &registry = decoderRegistry();
+    auto it = registry.find(type);
+    return it == registry.end() ? nullptr : &it->second;
+}
+
+void
+encodeMessage(const Message &msg, std::vector<uint8_t> &out)
+{
+    BufWriter writer(out);
+    writer.putU8(static_cast<uint8_t>(msg.type()));
+    writer.putU32(msg.src);
+    writer.putU32(msg.epoch);
+    msg.serializePayload(writer);
+}
+
+std::shared_ptr<Message>
+decodeMessage(const uint8_t *data, size_t len)
+{
+    BufReader reader(data, len);
+    auto type = static_cast<MsgType>(reader.getU8());
+    NodeId src = reader.getU32();
+    Epoch epoch = reader.getU32();
+    if (!reader.ok())
+        return nullptr;
+    const MessageDecoder *decoder = findDecoder(type);
+    if (!decoder) {
+        LOG_WARN("no decoder for message type %u",
+                 static_cast<unsigned>(type));
+        return nullptr;
+    }
+    std::shared_ptr<Message> msg = (*decoder)(reader);
+    if (!msg || !reader.ok())
+        return nullptr;
+    msg->src = src;
+    msg->epoch = epoch;
+    return msg;
+}
+
+} // namespace hermes::net

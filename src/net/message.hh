@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Protocol message envelope shared by every replication protocol and both
+ * transports.
+ *
+ * Messages are immutable once sent (the simulated network hands the same
+ * shared_ptr to several receivers and may duplicate deliveries), carry the
+ * sender id and the sender's membership epoch (paper §2.4: receivers drop
+ * messages from a different epoch), and know their wire size so the cost
+ * model can charge CPU and network time per byte.
+ *
+ * Each protocol module defines concrete subclasses and registers a codec so
+ * the TCP transport can (de)serialize them; the simulated transport never
+ * serializes.
+ */
+
+#ifndef HERMES_NET_MESSAGE_HH
+#define HERMES_NET_MESSAGE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "common/serialize.hh"
+#include "common/types.hh"
+
+namespace hermes::net
+{
+
+/**
+ * Global registry of message kinds (a protocol-number space). Grouped per
+ * protocol; the numeric values are part of the TCP wire format.
+ */
+enum class MsgType : uint8_t
+{
+    // --- Hermes (paper §3) ---
+    HermesInv = 0,       ///< invalidation carrying key, timestamp, value
+    HermesAck = 1,       ///< ack of an INV (O3: may be broadcast)
+    HermesVal = 2,       ///< validation completing a write
+    HermesStateReq = 3,  ///< shadow replica requests a state chunk (§3.4)
+    HermesStateChunk = 4, ///< a batch of key/ts/value entries + done flag
+    HermesEpochCheck = 5, ///< LSC-free read validation probe (§8)
+    HermesEpochCheckAck = 6, ///< same-epoch acknowledgment of a probe
+
+    // --- CRAQ (paper §2.5) ---
+    CraqWrite = 16,      ///< write propagating down the chain
+    CraqWriteAck = 17,   ///< ack propagating back up the chain
+    CraqVersionQuery = 18, ///< dirty-read version query to the tail
+    CraqVersionReply = 19, ///< tail's committed-version answer
+    CraqForward = 20,    ///< non-head node forwarding a client write to head
+
+    // --- ZAB (paper §5.1.1) ---
+    ZabForward = 32,     ///< follower forwards a client write to the leader
+    ZabPropose = 33,     ///< leader proposal broadcast
+    ZabAck = 34,         ///< follower ack to the leader
+    ZabCommit = 35,      ///< leader commit broadcast
+
+    // --- Lock-step total-order broadcast (Derecho-like, paper §6.5) ---
+    LockstepSubmit = 48, ///< node submits an update to the current round
+    LockstepRound = 49,  ///< sequencer's ordered round delivery
+    LockstepAck = 50,    ///< round receipt ack enabling lock-step advance
+
+    // --- Reliable membership (paper §2.4) ---
+    RmHeartbeat = 64,    ///< liveness beacon
+    RmPrepare = 65,      ///< Paxos phase-1a for an m-update
+    RmPromise = 66,      ///< Paxos phase-1b
+    RmAccept = 67,       ///< Paxos phase-2a
+    RmAccepted = 68,     ///< Paxos phase-2b
+    RmDecide = 69,       ///< learn a decided m-update
+
+    // --- Client/server framing for the TCP deployment ---
+    ClientRequest = 96,  ///< read/write/RMW from an external client
+    ClientReply = 97,    ///< completion back to the client
+};
+
+/** @return a short mnemonic, e.g. "INV", for traces. */
+const char *msgTypeName(MsgType type);
+
+/**
+ * Abstract message. Concrete subclasses add the payload fields and the
+ * payload (de)serialization; the envelope (type, src, epoch) is handled
+ * here.
+ */
+class Message
+{
+  public:
+    explicit Message(MsgType type) : type_(type) {}
+    virtual ~Message() = default;
+
+    MsgType type() const { return type_; }
+
+    /** Sender node id; stamped by the transport at send time. */
+    NodeId src = kInvalidNode;
+
+    /** Sender's membership epoch at message creation (paper §2.4). */
+    Epoch epoch = 0;
+
+    /**
+     * Bytes this message occupies on the wire, including the envelope and
+     * a nominal transport header; drives the cost model.
+     */
+    size_t wireSize() const { return 16 + payloadSize(); }
+
+    /** Payload-only size in bytes. */
+    virtual size_t payloadSize() const = 0;
+
+    /** Serialize the payload (not the envelope) into @p writer. */
+    virtual void serializePayload(BufWriter &writer) const = 0;
+
+  private:
+    MsgType type_;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+/** Payload decoder: builds a concrete message from reader bytes. */
+using MessageDecoder =
+    std::function<std::shared_ptr<Message>(BufReader &)>;
+
+/**
+ * Register the payload decoder for a message type. Called from each
+ * protocol module's registerCodecs(); duplicate registration with the same
+ * type replaces the previous decoder (harmless, supports re-init in tests).
+ */
+void registerDecoder(MsgType type, MessageDecoder decoder);
+
+/** @return the registered decoder or nullptr. */
+const MessageDecoder *findDecoder(MsgType type);
+
+/** Serialize envelope + payload into a frame body (no length prefix). */
+void encodeMessage(const Message &msg, std::vector<uint8_t> &out);
+
+/**
+ * Decode a frame body produced by encodeMessage.
+ * @return nullptr if the frame is malformed or the type unknown.
+ */
+std::shared_ptr<Message> decodeMessage(const uint8_t *data, size_t len);
+
+} // namespace hermes::net
+
+#endif // HERMES_NET_MESSAGE_HH

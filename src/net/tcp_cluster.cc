@@ -1,0 +1,884 @@
+#include "net/tcp_cluster.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <set>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace hermes::net
+{
+
+namespace
+{
+
+constexpr uint32_t kHelloMagic = 0x57494E47; // "WING"
+constexpr uint32_t kHelloPeer = 0;
+constexpr uint32_t kHelloClient = 1;
+
+constexpr uint8_t kFrameBatch = 0;
+constexpr uint8_t kFrameCredit = 1;
+
+TimeNs
+steadyNowNs()
+{
+    using namespace std::chrono;
+    return duration_cast<nanoseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void
+setNonBlocking(int fd)
+{
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void
+setNoDelay(int fd)
+{
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/** Encode one message as a single-entry batch frame. */
+void
+encodeBatchFrame(const std::vector<std::vector<uint8_t>> &messages,
+                 std::vector<uint8_t> &out)
+{
+    size_t body = 3; // kind + u16 count
+    for (const auto &m : messages)
+        body += 4 + m.size();
+    BufWriter writer(out);
+    writer.putU32(static_cast<uint32_t>(body));
+    writer.putU8(kFrameBatch);
+    writer.putU16(static_cast<uint16_t>(messages.size()));
+    for (const auto &m : messages) {
+        writer.putU32(static_cast<uint32_t>(m.size()));
+        writer.putRaw(m.data(), m.size());
+    }
+}
+
+void
+encodeCreditFrame(uint32_t credits, std::vector<uint8_t> &out)
+{
+    BufWriter writer(out);
+    writer.putU32(5);
+    writer.putU8(kFrameCredit);
+    writer.putU32(credits);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// NodeLoop
+// ---------------------------------------------------------------------
+
+class TcpCluster::NodeLoop
+{
+  public:
+    NodeLoop(TcpCluster &cluster, NodeId id, size_t num_nodes,
+             const TcpConfig &config)
+        : cluster_(cluster), id_(id), numNodes_(num_nodes), config_(config),
+          env_(*this)
+    {
+        if (pipe(wakePipe_) != 0)
+            fatal("pipe() failed: %s", strerror(errno));
+        setNonBlocking(wakePipe_[0]);
+    }
+
+    ~NodeLoop()
+    {
+        close(wakePipe_[0]);
+        close(wakePipe_[1]);
+        if (listenFd_ >= 0)
+            close(listenFd_);
+        for (auto &kv : conns_)
+            close(kv.second.fd);
+    }
+
+    /** Env implementation living on this loop. */
+    class LoopEnv : public Env
+    {
+      public:
+        explicit LoopEnv(NodeLoop &loop)
+            : loop_(loop), rng_(0xC0FFEEull + loop.id_)
+        {}
+
+        NodeId self() const override { return loop_.id_; }
+        TimeNs now() const override { return steadyNowNs(); }
+
+        void
+        send(NodeId dst, MessagePtr msg) override
+        {
+            loop_.stageToPeer(dst, *msg);
+        }
+
+        void
+        broadcast(const NodeSet &dsts, MessagePtr msg) override
+        {
+            // Wings broadcast: one encode, many unicasts.
+            const_cast<Message &>(*msg).src = loop_.id_;
+            std::vector<uint8_t> bytes;
+            encodeMessage(*msg, bytes);
+            for (NodeId dst : dsts) {
+                if (dst != loop_.id_)
+                    loop_.stageEncoded(dst, bytes);
+            }
+        }
+
+        TimerId
+        setTimer(DurationNs after, std::function<void()> fn) override
+        {
+            return loop_.addTimer(after, std::move(fn));
+        }
+
+        void cancelTimer(TimerId id) override { loop_.cancelTimer(id); }
+        Rng &rng() override { return rng_; }
+
+      private:
+        NodeLoop &loop_;
+        Rng rng_;
+    };
+
+    void
+    bindListener()
+    {
+        listenFd_ = socket(AF_INET, SOCK_STREAM, 0);
+        if (listenFd_ < 0)
+            fatal("socket() failed: %s", strerror(errno));
+        int one = 1;
+        setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port = htons(port());
+        if (bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                 sizeof(addr)) != 0) {
+            fatal("bind(port %u) failed: %s", port(), strerror(errno));
+        }
+        if (listen(listenFd_, 64) != 0)
+            fatal("listen() failed: %s", strerror(errno));
+        setNonBlocking(listenFd_);
+    }
+
+    uint16_t port() const { return config_.basePort + id_; }
+
+    void
+    startThread()
+    {
+        thread_ = std::thread([this] { run(); });
+    }
+
+    void
+    stopThread()
+    {
+        stop_.store(true);
+        wake();
+        if (thread_.joinable())
+            thread_.join();
+    }
+
+    void
+    post(std::function<void()> fn)
+    {
+        {
+            std::lock_guard<std::mutex> guard(injectMutex_);
+            injected_.push_back(std::move(fn));
+        }
+        wake();
+    }
+
+    void
+    runOnAndWait(std::function<void()> fn)
+    {
+        if (std::this_thread::get_id() == thread_.get_id()) {
+            fn(); // already on the loop; run inline to avoid self-deadlock
+            return;
+        }
+        std::mutex m;
+        std::condition_variable cv;
+        bool done = false;
+        post([&] {
+            fn();
+            {
+                std::lock_guard<std::mutex> guard(m);
+                done = true;
+            }
+            cv.notify_one();
+        });
+        std::unique_lock<std::mutex> lock(m);
+        cv.wait(lock, [&] { return done || stop_.load(); });
+    }
+
+    Node *node = nullptr;
+    ClientFrameHandler clientHandler;
+
+    LoopEnv &env() { return env_; }
+
+    void
+    replyToClient(ClientConnId conn_id, std::vector<uint8_t> msg_bytes)
+    {
+        post([this, conn_id, bytes = std::move(msg_bytes)] {
+            auto it = clientConns_.find(conn_id);
+            if (it == clientConns_.end())
+                return;
+            staged_[it->second].push_back(bytes);
+        });
+    }
+
+  private:
+    struct Conn
+    {
+        int fd = -1;
+        bool isPeer = false;
+        NodeId peerId = kInvalidNode;       // valid when isPeer
+        ClientConnId clientId = 0;          // valid when !isPeer
+        bool helloDone = false;
+        std::vector<uint8_t> rx;
+        std::vector<uint8_t> tx;
+        uint32_t sendCredits = 0;           // credits we hold toward peer
+        uint32_t recvSinceCredit = 0;       // messages since credit return
+        std::deque<std::vector<uint8_t>> creditWait; // blocked on credits
+    };
+
+    void
+    wake()
+    {
+        uint8_t b = 1;
+        ssize_t rc = write(wakePipe_[1], &b, 1);
+        (void)rc;
+    }
+
+    struct Timer
+    {
+        TimeNs deadline;
+        TimerId id;
+
+        bool
+        operator>(const Timer &other) const
+        {
+            return deadline != other.deadline ? deadline > other.deadline
+                                              : id > other.id;
+        }
+    };
+
+    TimerId
+    addTimer(DurationNs after, std::function<void()> fn)
+    {
+        TimerId id = nextTimerId_++;
+        timerFns_[id] = std::move(fn);
+        timerHeap_.push_back(Timer{steadyNowNs() + after, id});
+        std::push_heap(timerHeap_.begin(), timerHeap_.end(),
+                       std::greater<>());
+        return id;
+    }
+
+    void cancelTimer(TimerId id) { timerFns_.erase(id); }
+
+    void
+    fireDueTimers()
+    {
+        TimeNs now = steadyNowNs();
+        while (!timerHeap_.empty() && timerHeap_.front().deadline <= now) {
+            std::pop_heap(timerHeap_.begin(), timerHeap_.end(),
+                          std::greater<>());
+            Timer t = timerHeap_.back();
+            timerHeap_.pop_back();
+            auto it = timerFns_.find(t.id);
+            if (it == timerFns_.end())
+                continue; // cancelled
+            auto fn = std::move(it->second);
+            timerFns_.erase(it);
+            fn();
+        }
+    }
+
+    int
+    pollTimeoutMs() const
+    {
+        if (timerHeap_.empty())
+            return 50;
+        TimeNs now = steadyNowNs();
+        TimeNs deadline = timerHeap_.front().deadline;
+        if (deadline <= now)
+            return 0;
+        return static_cast<int>(
+            std::min<uint64_t>((deadline - now) / 1000000ull + 1, 50));
+    }
+
+    // ---- connection management ----
+
+    int
+    connectToPeer(NodeId peer)
+    {
+        for (int attempt = 0; attempt < 100; ++attempt) {
+            int fd = socket(AF_INET, SOCK_STREAM, 0);
+            if (fd < 0)
+                fatal("socket() failed: %s", strerror(errno));
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+            addr.sin_port = htons(config_.basePort + peer);
+            if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                        sizeof(addr)) == 0) {
+                setNoDelay(fd);
+                // Blocking hello, then switch to non-blocking.
+                uint32_t hello[3] = {kHelloMagic, kHelloPeer, id_};
+                if (write(fd, hello, sizeof(hello)) !=
+                        static_cast<ssize_t>(sizeof(hello))) {
+                    close(fd);
+                    continue;
+                }
+                setNonBlocking(fd);
+                return fd;
+            }
+            close(fd);
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            if (stop_.load())
+                return -1;
+        }
+        fatal("node %u could not connect to peer %u", id_, peer);
+    }
+
+    void
+    registerConn(Conn conn)
+    {
+        int fd = conn.fd;
+        conns_[fd] = std::move(conn);
+    }
+
+    void
+    establishMesh()
+    {
+        // Deterministic mesh: this node dials every lower id; higher ids
+        // dial us (handled by the accept path).
+        for (NodeId peer = 0; peer < id_; ++peer) {
+            int fd = connectToPeer(peer);
+            if (fd < 0)
+                return;
+            Conn conn;
+            conn.fd = fd;
+            conn.isPeer = true;
+            conn.peerId = peer;
+            conn.helloDone = true;
+            conn.sendCredits = config_.creditsPerLink;
+            registerConn(std::move(conn));
+            peerFd_[peer] = fd;
+        }
+    }
+
+    void
+    acceptNew()
+    {
+        for (;;) {
+            int fd = accept(listenFd_, nullptr, nullptr);
+            if (fd < 0)
+                return;
+            setNoDelay(fd);
+            setNonBlocking(fd);
+            Conn conn;
+            conn.fd = fd;
+            conn.helloDone = false;
+            registerConn(std::move(conn));
+        }
+    }
+
+    void
+    closeConn(int fd)
+    {
+        auto it = conns_.find(fd);
+        if (it == conns_.end())
+            return;
+        if (it->second.isPeer && it->second.peerId != kInvalidNode)
+            peerFd_.erase(it->second.peerId);
+        if (!it->second.isPeer)
+            clientConns_.erase(it->second.clientId);
+        staged_.erase(fd);
+        close(fd);
+        conns_.erase(it);
+    }
+
+    // ---- Wings send path: staging + flush ----
+
+    void
+    stageToPeer(NodeId dst, const Message &msg)
+    {
+        const_cast<Message &>(msg).src = id_;
+        std::vector<uint8_t> bytes;
+        encodeMessage(msg, bytes);
+        stageEncoded(dst, bytes);
+    }
+
+    void
+    stageEncoded(NodeId dst, const std::vector<uint8_t> &bytes)
+    {
+        auto it = peerFd_.find(dst);
+        if (it == peerFd_.end())
+            return; // peer gone: manifests as message loss, as designed
+        Conn &conn = conns_[it->second];
+        if (conn.sendCredits == 0) {
+            conn.creditWait.push_back(bytes);
+            return;
+        }
+        --conn.sendCredits;
+        staged_[it->second].push_back(bytes);
+    }
+
+    /** Coalesce everything staged this iteration into batch frames. */
+    void
+    flushStaged()
+    {
+        for (auto &kv : staged_) {
+            if (kv.second.empty())
+                continue;
+            auto it = conns_.find(kv.first);
+            if (it == conns_.end())
+                continue;
+            encodeBatchFrame(kv.second, it->second.tx);
+            kv.second.clear();
+            tryWrite(it->second);
+        }
+    }
+
+    void
+    tryWrite(Conn &conn)
+    {
+        while (!conn.tx.empty()) {
+            ssize_t n = write(conn.fd, conn.tx.data(), conn.tx.size());
+            if (n > 0) {
+                conn.tx.erase(conn.tx.begin(), conn.tx.begin() + n);
+            } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+                return; // poll will tell us when writable
+            } else {
+                return; // error path: closed on next read
+            }
+        }
+    }
+
+    // ---- receive path ----
+
+    void
+    handleReadable(int fd)
+    {
+        auto it = conns_.find(fd);
+        if (it == conns_.end())
+            return;
+        Conn &conn = it->second;
+        uint8_t buf[65536];
+        for (;;) {
+            ssize_t n = read(fd, buf, sizeof(buf));
+            if (n > 0) {
+                conn.rx.insert(conn.rx.end(), buf, buf + n);
+            } else if (n == 0) {
+                closeConn(fd);
+                return;
+            } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+                break;
+            } else {
+                closeConn(fd);
+                return;
+            }
+        }
+        parseRx(fd);
+    }
+
+    void
+    parseRx(int fd)
+    {
+        auto connIt = conns_.find(fd);
+        if (connIt == conns_.end())
+            return;
+        Conn &conn = connIt->second;
+        size_t off = 0;
+
+        if (!conn.helloDone) {
+            if (conn.rx.size() < 12)
+                return;
+            uint32_t magic, kind, sender;
+            std::memcpy(&magic, conn.rx.data(), 4);
+            std::memcpy(&kind, conn.rx.data() + 4, 4);
+            std::memcpy(&sender, conn.rx.data() + 8, 4);
+            if (magic != kHelloMagic) {
+                closeConn(fd);
+                return;
+            }
+            off = 12;
+            conn.helloDone = true;
+            if (kind == kHelloPeer) {
+                conn.isPeer = true;
+                conn.peerId = sender;
+                conn.sendCredits = config_.creditsPerLink;
+                peerFd_[sender] = fd;
+            } else {
+                conn.isPeer = false;
+                conn.clientId = nextClientId_++;
+                clientConns_[conn.clientId] = fd;
+            }
+        }
+
+        while (conn.rx.size() - off >= 4) {
+            uint32_t frame_len;
+            std::memcpy(&frame_len, conn.rx.data() + off, 4);
+            if (conn.rx.size() - off - 4 < frame_len)
+                break;
+            handleFrame(fd, conn.rx.data() + off + 4, frame_len);
+            // handleFrame may close the connection; revalidate.
+            connIt = conns_.find(fd);
+            if (connIt == conns_.end())
+                return;
+            off += 4 + frame_len;
+        }
+        if (off > 0)
+            conn.rx.erase(conn.rx.begin(), conn.rx.begin() + off);
+    }
+
+    void
+    handleFrame(int fd, const uint8_t *data, size_t len)
+    {
+        Conn &conn = conns_[fd];
+        BufReader reader(data, len);
+        uint8_t kind = reader.getU8();
+        if (kind == kFrameCredit) {
+            uint32_t credits = reader.getU32();
+            if (!reader.ok() || !conn.isPeer)
+                return;
+            conn.sendCredits += credits;
+            // Drain messages blocked on credits.
+            while (conn.sendCredits > 0 && !conn.creditWait.empty()) {
+                --conn.sendCredits;
+                staged_[fd].push_back(std::move(conn.creditWait.front()));
+                conn.creditWait.pop_front();
+            }
+            return;
+        }
+        if (kind != kFrameBatch)
+            return;
+        uint16_t count = reader.getU16();
+        for (uint16_t i = 0; i < count && reader.ok(); ++i) {
+            uint32_t msg_len = reader.getU32();
+            if (!reader.ok() || reader.remaining() < msg_len)
+                return;
+            std::vector<uint8_t> body(msg_len);
+            for (uint32_t b = 0; b < msg_len; ++b)
+                body[b] = reader.getU8();
+            std::shared_ptr<Message> msg =
+                decodeMessage(body.data(), body.size());
+            if (!msg)
+                continue;
+            if (conn.isPeer) {
+                if (++conn.recvSinceCredit >= config_.creditReturnBatch) {
+                    encodeCreditFrame(conn.recvSinceCredit, conn.tx);
+                    conn.recvSinceCredit = 0;
+                    tryWrite(conn);
+                }
+                if (node)
+                    node->onMessage(msg);
+            } else if (clientHandler) {
+                clientHandler(conn.clientId, msg);
+            }
+        }
+    }
+
+    // ---- main loop ----
+
+    void
+    run()
+    {
+        establishMesh();
+        if (stop_.load())
+            return;
+        if (node)
+            node->start();
+        flushStaged();
+
+        while (!stop_.load()) {
+            std::vector<pollfd> pfds;
+            pfds.push_back({wakePipe_[0], POLLIN, 0});
+            pfds.push_back({listenFd_, POLLIN, 0});
+            std::vector<int> fdOf;
+            for (auto &kv : conns_) {
+                short events = POLLIN;
+                if (!kv.second.tx.empty())
+                    events |= POLLOUT;
+                pfds.push_back({kv.first, events, 0});
+                fdOf.push_back(kv.first);
+            }
+            int rc = poll(pfds.data(), pfds.size(), pollTimeoutMs());
+            if (rc < 0 && errno != EINTR)
+                break;
+
+            if (pfds[0].revents & POLLIN) {
+                uint8_t drain[256];
+                while (read(wakePipe_[0], drain, sizeof(drain)) > 0) {}
+            }
+            if (pfds[1].revents & POLLIN)
+                acceptNew();
+            for (size_t i = 2; i < pfds.size(); ++i) {
+                int fd = fdOf[i - 2];
+                if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                    handleReadable(fd);
+                if (conns_.count(fd) && (pfds[i].revents & POLLOUT))
+                    tryWrite(conns_[fd]);
+            }
+
+            // Injected cross-thread calls.
+            std::deque<std::function<void()>> injected;
+            {
+                std::lock_guard<std::mutex> guard(injectMutex_);
+                injected.swap(injected_);
+            }
+            for (auto &fn : injected)
+                fn();
+
+            fireDueTimers();
+
+            // Wings opportunistic batching: everything the handlers above
+            // produced goes out coalesced, once per loop iteration.
+            flushStaged();
+        }
+
+        for (auto &kv : conns_)
+            close(kv.second.fd);
+        conns_.clear();
+        peerFd_.clear();
+        clientConns_.clear();
+    }
+
+    TcpCluster &cluster_;
+    NodeId id_;
+    size_t numNodes_;
+    TcpConfig config_;
+    LoopEnv env_;
+
+    int listenFd_ = -1;
+    int wakePipe_[2] = {-1, -1};
+    std::thread thread_;
+    std::atomic<bool> stop_{false};
+
+    std::map<int, Conn> conns_;
+    std::map<NodeId, int> peerFd_;
+    std::map<ClientConnId, int> clientConns_;
+    std::map<int, std::vector<std::vector<uint8_t>>> staged_;
+    ClientConnId nextClientId_ = 1;
+
+    std::mutex injectMutex_;
+    std::deque<std::function<void()>> injected_;
+
+    std::vector<Timer> timerHeap_;
+    std::map<TimerId, std::function<void()>> timerFns_;
+    TimerId nextTimerId_ = 1;
+
+    friend class TcpCluster;
+};
+
+// ---------------------------------------------------------------------
+// TcpCluster
+// ---------------------------------------------------------------------
+
+TcpCluster::TcpCluster(size_t nodes, TcpConfig config) : config_(config)
+{
+    for (size_t i = 0; i < nodes; ++i) {
+        loops_.push_back(std::make_unique<NodeLoop>(
+            *this, static_cast<NodeId>(i), nodes, config_));
+    }
+}
+
+TcpCluster::~TcpCluster()
+{
+    stop();
+}
+
+void
+TcpCluster::attach(NodeId id, Node *node)
+{
+    loops_.at(id)->node = node;
+}
+
+void
+TcpCluster::setClientHandler(NodeId id, ClientFrameHandler handler)
+{
+    loops_.at(id)->clientHandler = std::move(handler);
+}
+
+Env &
+TcpCluster::env(NodeId id)
+{
+    return loops_.at(id)->env();
+}
+
+void
+TcpCluster::start()
+{
+    hermes_assert(!started_);
+    started_ = true;
+    // Bind every listener before any connect so the dial-lower-ids mesh
+    // establishment cannot race.
+    for (auto &loop : loops_)
+        loop->bindListener();
+    for (auto &loop : loops_)
+        loop->startThread();
+    // Wait until every loop finished dialing its peers: each loop only
+    // services injected calls after establishMesh(), so a round of no-op
+    // runOn calls doubles as a mesh barrier. Without it, a client request
+    // racing the mesh could have its protocol traffic silently dropped —
+    // fatal for protocols without retransmission (e.g. CRAQ forwards).
+    for (auto &loop : loops_)
+        loop->runOnAndWait([] {});
+}
+
+void
+TcpCluster::stop()
+{
+    if (!started_)
+        return;
+    for (auto &loop : loops_)
+        loop->stopThread();
+    started_ = false;
+}
+
+void
+TcpCluster::runOn(NodeId id, std::function<void()> fn)
+{
+    loops_.at(id)->runOnAndWait(std::move(fn));
+}
+
+void
+TcpCluster::post(NodeId id, std::function<void()> fn)
+{
+    loops_.at(id)->post(std::move(fn));
+}
+
+void
+TcpCluster::replyToClient(NodeId id, ClientConnId conn, const Message &msg)
+{
+    std::vector<uint8_t> bytes;
+    const_cast<Message &>(msg).src = id;
+    encodeMessage(msg, bytes);
+    loops_.at(id)->replyToClient(conn, std::move(bytes));
+}
+
+void
+TcpCluster::crash(NodeId id)
+{
+    loops_.at(id)->stopThread();
+}
+
+uint16_t
+TcpCluster::portOf(NodeId id) const
+{
+    return loops_.at(id)->port();
+}
+
+// ---------------------------------------------------------------------
+// TcpClient
+// ---------------------------------------------------------------------
+
+TcpClient::TcpClient(uint16_t port) : fd_(-1)
+{
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) == 0) {
+            setNoDelay(fd);
+            uint32_t hello[3] = {kHelloMagic, kHelloClient, 0};
+            if (write(fd, hello, sizeof(hello)) ==
+                    static_cast<ssize_t>(sizeof(hello))) {
+                fd_ = fd;
+                return;
+            }
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    close(fd);
+}
+
+TcpClient::~TcpClient()
+{
+    if (fd_ >= 0)
+        close(fd_);
+}
+
+std::shared_ptr<Message>
+TcpClient::call(const Message &request, DurationNs timeout)
+{
+    if (fd_ < 0)
+        return nullptr;
+
+    std::vector<uint8_t> body;
+    encodeMessage(request, body);
+    std::vector<std::vector<uint8_t>> batch{std::move(body)};
+    std::vector<uint8_t> frame;
+    encodeBatchFrame(batch, frame);
+    size_t written = 0;
+    while (written < frame.size()) {
+        ssize_t n = write(fd_, frame.data() + written,
+                          frame.size() - written);
+        if (n <= 0)
+            return nullptr;
+        written += n;
+    }
+
+    TimeNs deadline = steadyNowNs() + timeout;
+    for (;;) {
+        // Try to parse one full frame from what we have.
+        while (rxBuf_.size() >= 4) {
+            uint32_t frame_len;
+            std::memcpy(&frame_len, rxBuf_.data(), 4);
+            if (rxBuf_.size() - 4 < frame_len)
+                break;
+            BufReader reader(rxBuf_.data() + 4, frame_len);
+            uint8_t kind = reader.getU8();
+            std::shared_ptr<Message> result;
+            if (kind == kFrameBatch) {
+                uint16_t count = reader.getU16();
+                for (uint16_t i = 0; i < count && reader.ok(); ++i) {
+                    uint32_t msg_len = reader.getU32();
+                    if (!reader.ok() || reader.remaining() < msg_len)
+                        break;
+                    std::vector<uint8_t> msg_body(msg_len);
+                    for (uint32_t b = 0; b < msg_len; ++b)
+                        msg_body[b] = reader.getU8();
+                    result = decodeMessage(msg_body.data(), msg_body.size());
+                }
+            }
+            rxBuf_.erase(rxBuf_.begin(), rxBuf_.begin() + 4 + frame_len);
+            if (result)
+                return result;
+        }
+
+        TimeNs now = steadyNowNs();
+        if (now >= deadline)
+            return nullptr;
+        pollfd pfd{fd_, POLLIN, 0};
+        int rc = poll(&pfd, 1,
+                      static_cast<int>((deadline - now) / 1000000ull + 1));
+        if (rc <= 0)
+            continue;
+        uint8_t buf[65536];
+        ssize_t n = read(fd_, buf, sizeof(buf));
+        if (n <= 0)
+            return nullptr;
+        rxBuf_.insert(rxBuf_.end(), buf, buf + n);
+    }
+}
+
+} // namespace hermes::net

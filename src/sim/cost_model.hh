@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The calibrated CPU/network cost model shared by all simulated benchmarks.
+ *
+ * The paper evaluates on 7 machines with two 10-core Xeons and 56Gb
+ * InfiniBand (§5.2). Reproducing the *shape* of its throughput/latency
+ * results requires modelling exactly the resources the protocols contend
+ * for: per-node worker CPU (message handling, request decode, KVS access,
+ * send posting) and network propagation/transmission time. The defaults
+ * below are calibrated so that the simulated read-only capacity and the
+ * read/write cost ratio land in the same regime as the paper's testbed;
+ * every bench takes the model as a parameter so reviewers can recalibrate.
+ */
+
+#ifndef HERMES_SIM_COST_MODEL_HH
+#define HERMES_SIM_COST_MODEL_HH
+
+#include <cstddef>
+
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace hermes::sim
+{
+
+/**
+ * Cost parameters for the simulated cluster. All times in nanoseconds.
+ */
+struct CostModel
+{
+    // ---- Network ----
+    /** One-way propagation + switch + NIC base latency. */
+    DurationNs netBaseNs = 1100;
+    /** Mean of the exponential jitter added to every hop. */
+    DurationNs netJitterNs = 250;
+    /** Transmission time per wire byte (56Gb/s ~ 0.14 ns/B). */
+    double netPerByteNs = 0.15;
+
+    // ---- Per-node CPU ----
+    /** Worker threads per node (paper: 20 cores/node). */
+    unsigned workerThreads = 20;
+    /** Handling cost of one received protocol message. */
+    DurationNs recvBaseNs = 140;
+    /** Extra receive cost per payload byte (copy + checksum). */
+    double recvPerByteNs = 0.05;
+    /** Cost of posting one send (work request + doorbell). */
+    DurationNs sendBaseNs = 90;
+    /** Extra send cost per payload byte. */
+    double sendPerByteNs = 0.05;
+    /**
+     * Marginal cost of each additional copy in a broadcast. Wings posts a
+     * broadcast as a linked list of work requests sharing one payload and
+     * one doorbell (§4.2), so extra copies are much cheaper than
+     * independent sends.
+     */
+    DurationNs broadcastPerExtraCopyNs = 30;
+    /** Client request decode + reply formatting. */
+    DurationNs clientOpNs = 60;
+    /** One KVS access (hash + seqlock + copy for 32B objects). */
+    DurationNs kvsOpNs = 70;
+
+    /**
+     * When true, a broadcast charges the sender a single sendBaseNs
+     * regardless of fan-out (models NIC multicast offload; the paper gives
+     * rZAB RDMA multicast, §5.1.1). Per-byte cost is still paid once.
+     */
+    bool multicastOffload = false;
+
+    /** Service time to receive a message of @p wire_bytes. */
+    DurationNs
+    recvCost(size_t wire_bytes) const
+    {
+        return recvBaseNs
+               + static_cast<DurationNs>(recvPerByteNs * wire_bytes);
+    }
+
+    /** Sender-side CPU to post one send of @p wire_bytes. */
+    DurationNs
+    sendCost(size_t wire_bytes) const
+    {
+        return sendBaseNs
+               + static_cast<DurationNs>(sendPerByteNs * wire_bytes);
+    }
+
+    /** Sender-side CPU for a @p fanout -way broadcast of one payload. */
+    DurationNs
+    broadcastCost(size_t wire_bytes, size_t fanout) const
+    {
+        if (fanout == 0)
+            return 0;
+        if (multicastOffload)
+            return sendCost(wire_bytes);
+        // First copy pays full posting; the rest ride the same doorbell.
+        return sendCost(wire_bytes)
+               + (fanout - 1)
+                     * (broadcastPerExtraCopyNs
+                        + static_cast<DurationNs>(sendPerByteNs
+                                                  * wire_bytes));
+    }
+
+    /** Sample the one-way network delay for @p wire_bytes. */
+    DurationNs
+    netDelay(Rng &rng, size_t wire_bytes) const
+    {
+        auto jitter = static_cast<DurationNs>(
+            rng.nextExponential(static_cast<double>(netJitterNs)));
+        auto tx = static_cast<DurationNs>(netPerByteNs * wire_bytes);
+        return netBaseNs + jitter + tx;
+    }
+};
+
+} // namespace hermes::sim
+
+#endif // HERMES_SIM_COST_MODEL_HH

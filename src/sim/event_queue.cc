@@ -1,0 +1,83 @@
+#include "sim/event_queue.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hermes::sim
+{
+
+EventId
+EventQueue::scheduleAt(TimeNs at, std::function<void()> fn)
+{
+    EventId id = nextSeq_++;
+    heap_.push(Event{std::max(at, now_), id, std::move(fn)});
+    ++livePending_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(DurationNs after, std::function<void()> fn)
+{
+    return scheduleAt(now_ + after, std::move(fn));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Only mark ids that could still be pending; runOne() erases marks as
+    // it skips them so the set stays small.
+    if (id < nextSeq_ && cancelled_.insert(id).second && livePending_ > 0)
+        --livePending_;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Event ev = heap_.top();
+        heap_.pop();
+        auto it = cancelled_.find(ev.id);
+        if (it != cancelled_.end()) {
+            cancelled_.erase(it);
+            continue;
+        }
+        hermes_assert(ev.at >= now_);
+        now_ = ev.at;
+        --livePending_;
+        ev.fn();
+        return true;
+    }
+    return false;
+}
+
+uint64_t
+EventQueue::runUntil(TimeNs until)
+{
+    uint64_t executed = 0;
+    while (!heap_.empty()) {
+        // Peek through cancelled entries without executing.
+        const Event &top = heap_.top();
+        if (cancelled_.count(top.id)) {
+            cancelled_.erase(top.id);
+            heap_.pop();
+            continue;
+        }
+        if (top.at > until)
+            break;
+        runOne();
+        ++executed;
+    }
+    return executed;
+}
+
+uint64_t
+EventQueue::runAll()
+{
+    uint64_t executed = 0;
+    while (runOne())
+        ++executed;
+    return executed;
+}
+
+} // namespace hermes::sim

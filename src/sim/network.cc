@@ -1,0 +1,87 @@
+#include "sim/network.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::sim
+{
+
+SimNetwork::SimNetwork(EventQueue &events, const CostModel &cost,
+                       size_t nodes, uint64_t seed)
+    : events_(events), cost_(cost), rng_(seed), nodeDown_(nodes, false)
+{
+}
+
+void
+SimNetwork::setPartition(const std::vector<int> &group_of_node)
+{
+    partitionGroups_ = group_of_node;
+}
+
+void
+SimNetwork::setNodeDown(NodeId node, bool down)
+{
+    hermes_assert(node < nodeDown_.size());
+    nodeDown_[node] = down;
+}
+
+bool
+SimNetwork::reachable(NodeId src, NodeId dst) const
+{
+    if (src >= nodeDown_.size() || dst >= nodeDown_.size())
+        return false;
+    if (nodeDown_[src] || nodeDown_[dst])
+        return false;
+    if (!partitionGroups_.empty()
+            && partitionGroups_[src] != partitionGroups_[dst])
+        return false;
+    return true;
+}
+
+void
+SimNetwork::scheduleDelivery(NodeId dst, net::MessagePtr msg, TimeNs depart)
+{
+    DurationNs delay = cost_.netDelay(rng_, msg->wireSize());
+    if (spikeProb_ > 0.0 && rng_.nextBool(spikeProb_)) {
+        delay += static_cast<DurationNs>(
+            rng_.nextExponential(static_cast<double>(spikeMeanNs_)));
+    }
+    events_.scheduleAt(depart + delay, [this, dst, msg = std::move(msg)] {
+        // Re-check reachability at arrival: a node that crashed or got
+        // partitioned while the message was in flight never hears it.
+        if (msg->src < nodeDown_.size() && reachable(msg->src, dst)) {
+            ++delivered_;
+            deliver_(dst, msg);
+        } else {
+            ++dropped_;
+        }
+    });
+}
+
+void
+SimNetwork::send(NodeId src, NodeId dst, net::MessagePtr msg, TimeNs depart)
+{
+    hermes_assert(deliver_ != nullptr);
+    hermes_assert(msg->src == src);
+    ++sent_;
+    sentBytes_ += msg->wireSize();
+
+    if (dropFilter_ && dropFilter_(src, dst, msg)) {
+        ++dropped_;
+        return;
+    }
+    if (!reachable(src, dst)) {
+        ++dropped_;
+        return;
+    }
+    if (lossProb_ > 0.0 && rng_.nextBool(lossProb_)) {
+        ++dropped_;
+        return;
+    }
+    scheduleDelivery(dst, msg, depart);
+    if (dupProb_ > 0.0 && rng_.nextBool(dupProb_)) {
+        ++duplicated_;
+        scheduleDelivery(dst, msg, depart);
+    }
+}
+
+} // namespace hermes::sim

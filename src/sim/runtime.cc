@@ -1,0 +1,229 @@
+#include "sim/runtime.hh"
+
+#include "common/logging.hh"
+
+namespace hermes::sim
+{
+
+/**
+ * Env implementation backing one simulated node. Sends are only legal from
+ * inside a job on the owning node (all protocol code runs as jobs); timers
+ * re-enter through submit() so their callbacks are jobs too.
+ */
+class SimRuntime::NodeEnv : public net::Env
+{
+  public:
+    NodeEnv(SimRuntime &rt, NodeId id, uint64_t seed)
+        : rt_(rt), id_(id), rng_(seed)
+    {}
+
+    NodeId self() const override { return id_; }
+    TimeNs now() const override { return rt_.events_.now(); }
+
+    void
+    send(NodeId dst, net::MessagePtr msg) override
+    {
+        rt_.sendFromNode(id_, dst, std::move(msg));
+    }
+
+    void
+    broadcast(const NodeSet &dsts, net::MessagePtr msg) override
+    {
+        rt_.broadcastFromNode(id_, dsts, std::move(msg));
+    }
+
+    net::TimerId
+    setTimer(DurationNs after, std::function<void()> fn) override
+    {
+        return rt_.events_.scheduleAfter(
+            after, [this, fn = std::move(fn)] {
+                rt_.submit(id_, 0, fn);
+            });
+    }
+
+    void cancelTimer(net::TimerId id) override { rt_.events_.cancel(id); }
+
+    Rng &rng() override { return rng_; }
+
+    void
+    chargeStoreAccess(unsigned count) override
+    {
+        hermes_assert(rt_.inJob_ && rt_.jobNode_ == id_);
+        rt_.jobSendAccum_ += count * rt_.cost_.kvsOpNs;
+    }
+
+    void
+    chargeCpu(DurationNs ns) override
+    {
+        hermes_assert(rt_.inJob_ && rt_.jobNode_ == id_);
+        rt_.jobSendAccum_ += ns;
+    }
+
+  private:
+    SimRuntime &rt_;
+    NodeId id_;
+    Rng rng_;
+};
+
+SimRuntime::SimRuntime(size_t nodes, const CostModel &cost, uint64_t seed)
+    : cost_(cost),
+      network_(events_, cost_, nodes, mix64(seed ^ 0x4E4554574F524Bull)),
+      cpus_(nodes),
+      nodes_(nodes, nullptr)
+{
+    for (size_t i = 0; i < nodes; ++i) {
+        cpus_[i].idleWorkers = cost_.workerThreads;
+        envs_.push_back(std::make_unique<NodeEnv>(
+            *this, static_cast<NodeId>(i), mix64(seed + 1 + i)));
+    }
+    network_.setDeliverFn([this](NodeId dst, net::MessagePtr msg) {
+        DurationNs svc = cost_.recvCost(msg->wireSize());
+        submit(dst, svc, [this, dst, msg = std::move(msg)] {
+            if (nodes_[dst])
+                nodes_[dst]->onMessage(msg);
+        });
+    });
+}
+
+SimRuntime::~SimRuntime() = default;
+
+void
+SimRuntime::attach(NodeId id, net::Node *node)
+{
+    hermes_assert(id < nodes_.size());
+    nodes_[id] = node;
+}
+
+net::Env &
+SimRuntime::env(NodeId id)
+{
+    hermes_assert(id < envs_.size());
+    return *envs_[id];
+}
+
+void
+SimRuntime::start()
+{
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        if (nodes_[i]) {
+            submit(static_cast<NodeId>(i), 0,
+                   [node = nodes_[i]] { node->start(); });
+        }
+    }
+}
+
+void
+SimRuntime::submit(NodeId node, DurationNs cpu_cost, std::function<void()> fn)
+{
+    hermes_assert(node < cpus_.size());
+    NodeCpu &cpu = cpus_[node];
+    if (!cpu.alive)
+        return;
+    cpu.queue.push_back(Job{cpu_cost, std::move(fn)});
+    if (cpu.idleWorkers > 0) {
+        --cpu.idleWorkers;
+        startJob(node, events_.now());
+    }
+}
+
+void
+SimRuntime::startJob(NodeId node, TimeNs at)
+{
+    NodeCpu &cpu = cpus_[node];
+    hermes_assert(!cpu.queue.empty());
+    Job job = std::move(cpu.queue.front());
+    cpu.queue.pop_front();
+    TimeNs exec_at = at + job.cost;
+    events_.scheduleAt(exec_at,
+                       [this, node, job = std::move(job), exec_at]() mutable {
+                           execJob(node, std::move(job), exec_at);
+                       });
+}
+
+void
+SimRuntime::execJob(NodeId node, Job job, TimeNs exec_time)
+{
+    NodeCpu &cpu = cpus_[node];
+    if (!cpu.alive)
+        return;
+
+    hermes_assert(!inJob_);
+    inJob_ = true;
+    jobNode_ = node;
+    jobExecTime_ = exec_time;
+    jobSendAccum_ = 0;
+
+    job.fn();
+
+    inJob_ = false;
+    DurationNs send_extra = jobSendAccum_;
+    cpu.busyNs += job.cost + send_extra;
+
+    if (send_extra == 0) {
+        releaseWorker(node, exec_time);
+    } else {
+        events_.scheduleAt(exec_time + send_extra, [this, node] {
+            releaseWorker(node, events_.now());
+        });
+    }
+}
+
+void
+SimRuntime::releaseWorker(NodeId node, TimeNs at)
+{
+    NodeCpu &cpu = cpus_[node];
+    if (!cpu.alive)
+        return;
+    if (!cpu.queue.empty()) {
+        startJob(node, at);
+    } else {
+        ++cpu.idleWorkers;
+    }
+}
+
+void
+SimRuntime::sendFromNode(NodeId src, NodeId dst, net::MessagePtr msg)
+{
+    hermes_assert(inJob_ && jobNode_ == src);
+    // The message occupies the sender's worker for its posting cost and
+    // departs when its serialization slot ends.
+    jobSendAccum_ += cost_.sendCost(msg->wireSize());
+    const_cast<net::Message &>(*msg).src = src;
+    network_.send(src, dst, std::move(msg), jobExecTime_ + jobSendAccum_);
+}
+
+void
+SimRuntime::broadcastFromNode(NodeId src, const NodeSet &dsts,
+                              net::MessagePtr msg)
+{
+    hermes_assert(inJob_ && jobNode_ == src);
+    const_cast<net::Message &>(*msg).src = src;
+    size_t fanout = 0;
+    for (NodeId dst : dsts)
+        fanout += dst != src;
+    if (fanout == 0)
+        return;
+    jobSendAccum_ += cost_.broadcastCost(msg->wireSize(), fanout);
+    TimeNs depart = jobExecTime_ + jobSendAccum_;
+    for (NodeId dst : dsts) {
+        if (dst != src)
+            network_.send(src, dst, msg, depart);
+    }
+}
+
+void
+SimRuntime::crash(NodeId node)
+{
+    hermes_assert(node < cpus_.size());
+    NodeCpu &cpu = cpus_[node];
+    if (!cpu.alive)
+        return;
+    cpu.alive = false;
+    cpu.queue.clear();
+    cpu.idleWorkers = 0;
+    network_.setNodeDown(node, true);
+    LOG_INFO("node %u crashed at %llu ns", node,
+             static_cast<unsigned long long>(events_.now()));
+}
+
+} // namespace hermes::sim

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * SimRuntime: the deterministic simulated cluster every protocol runs on.
+ *
+ * Each node owns `CostModel::workerThreads` worker servers. All protocol
+ * code — message handlers, timer callbacks, client request processing —
+ * executes as *jobs* on those workers: a job occupies a worker for its base
+ * cost plus the posting cost of every message it sends, and messages depart
+ * into the network only when their serialization slot ends. Queueing delay
+ * therefore emerges naturally when a node saturates, which is exactly the
+ * effect behind the paper's throughput/latency curves (the ZAB leader and
+ * the CRAQ tail bottleneck; Hermes stays load-balanced).
+ *
+ * The runtime is single-threaded and deterministic given a seed.
+ */
+
+#ifndef HERMES_SIM_RUNTIME_HH
+#define HERMES_SIM_RUNTIME_HH
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/types.hh"
+#include "net/env.hh"
+#include "sim/cost_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/network.hh"
+
+namespace hermes::sim
+{
+
+/**
+ * Simulated cluster runtime: clock, network, per-node CPUs and the Env
+ * implementations handed to protocol nodes.
+ */
+class SimRuntime
+{
+  public:
+    /**
+     * @param nodes cluster size
+     * @param cost  cost model (copied; stable for the runtime's lifetime)
+     * @param seed  master seed; node RNGs and the network derive from it
+     */
+    SimRuntime(size_t nodes, const CostModel &cost, uint64_t seed);
+    ~SimRuntime();
+
+    SimRuntime(const SimRuntime &) = delete;
+    SimRuntime &operator=(const SimRuntime &) = delete;
+
+    /** Attach the protocol replica for @p id (non-owning). */
+    void attach(NodeId id, net::Node *node);
+
+    /** The Env to construct node @p id 's protocol object with. */
+    net::Env &env(NodeId id);
+
+    size_t numNodes() const { return cpus_.size(); }
+    EventQueue &events() { return events_; }
+    SimNetwork &network() { return network_; }
+    const CostModel &cost() const { return cost_; }
+    TimeNs now() const { return events_.now(); }
+
+    /** Call start() on every attached node (as a zero-cost job). */
+    void start();
+
+    /** Advance the simulation until @p until (absolute ns). */
+    void runUntil(TimeNs until) { events_.runUntil(until); }
+
+    /** Advance the simulation by @p d ns. */
+    void runFor(DurationNs d) { events_.runUntil(now() + d); }
+
+    /** Drain every runnable event (tests only). */
+    void runAll() { events_.runAll(); }
+
+    /**
+     * Enqueue a job on @p node 's workers: occupies one worker for
+     * @p cpu_cost plus send-posting costs incurred by @p fn. Silently
+     * dropped if the node has crashed.
+     */
+    void submit(NodeId node, DurationNs cpu_cost, std::function<void()> fn);
+
+    /**
+     * Crash-stop @p node : pending jobs are discarded, future messages to
+     * and from it vanish, timers never fire. There is no un-crash;
+     * recovery is modelled as a fresh shadow replica joining (§3.4).
+     */
+    void crash(NodeId node);
+
+    bool alive(NodeId node) const { return cpus_[node].alive; }
+
+    /** Cumulative busy worker-nanoseconds (utilization reporting). */
+    uint64_t cpuBusyNs(NodeId node) const { return cpus_[node].busyNs; }
+
+    /** Jobs currently queued waiting for a worker (backlog probe). */
+    size_t cpuBacklog(NodeId node) const { return cpus_[node].queue.size(); }
+
+  private:
+    class NodeEnv;
+
+    struct Job
+    {
+        DurationNs cost;
+        std::function<void()> fn;
+    };
+
+    struct NodeCpu
+    {
+        std::deque<Job> queue;
+        unsigned idleWorkers = 0;
+        bool alive = true;
+        uint64_t busyNs = 0;
+    };
+
+    void startJob(NodeId node, TimeNs at);
+    void execJob(NodeId node, Job job, TimeNs exec_time);
+    void releaseWorker(NodeId node, TimeNs at);
+
+    /** Env::send / Env::broadcast funnel here (only valid inside a job). */
+    void sendFromNode(NodeId src, NodeId dst, net::MessagePtr msg);
+    void broadcastFromNode(NodeId src, const NodeSet &dsts,
+                           net::MessagePtr msg);
+
+    CostModel cost_;
+    EventQueue events_;
+    SimNetwork network_;
+    std::vector<NodeCpu> cpus_;
+    std::vector<net::Node *> nodes_;
+    std::vector<std::unique_ptr<NodeEnv>> envs_;
+
+    // Context of the job currently executing (single-threaded runtime).
+    bool inJob_ = false;
+    NodeId jobNode_ = kInvalidNode;
+    TimeNs jobExecTime_ = 0;
+    DurationNs jobSendAccum_ = 0;
+};
+
+} // namespace hermes::sim
+
+#endif // HERMES_SIM_RUNTIME_HH

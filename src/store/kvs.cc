@@ -1,0 +1,120 @@
+#include "store/kvs.hh"
+
+#include <bit>
+#include <new>
+
+namespace hermes::store
+{
+
+namespace
+{
+size_t
+roundUpPow2(size_t v)
+{
+    return std::bit_ceil(v == 0 ? size_t{1} : v);
+}
+} // namespace
+
+KvStore::KvStore(size_t capacity_keys, size_t max_value_size)
+    : numBuckets_(roundUpPow2(capacity_keys)),
+      maxValueSize_(max_value_size),
+      buckets_(numBuckets_),
+      stripes_(kNumStripes)
+{
+    for (auto &bucket : buckets_)
+        bucket.store(nullptr, std::memory_order_relaxed);
+}
+
+KvStore::~KvStore()
+{
+    for (auto &bucket : buckets_) {
+        Entry *entry = bucket.load(std::memory_order_relaxed);
+        while (entry) {
+            Entry *next = entry->next;
+            entry->~Entry();
+            ::operator delete(entry);
+            entry = next;
+        }
+    }
+}
+
+KvStore::Entry *
+KvStore::findEntry(Key key) const
+{
+    Entry *entry =
+        buckets_[bucketOf(key)].load(std::memory_order_acquire);
+    while (entry) {
+        if (entry->key == key)
+            return entry;
+        entry = entry->next;
+    }
+    return nullptr;
+}
+
+KvStore::Entry *
+KvStore::insertLocked(Key key)
+{
+    void *mem = ::operator new(sizeof(Entry) + maxValueSize_);
+    auto *entry = new (mem) Entry();
+    entry->key = key;
+    std::atomic<Entry *> &head = buckets_[bucketOf(key)];
+    entry->next = head.load(std::memory_order_relaxed);
+    // Release-publish after the entry is fully initialized so lock-free
+    // readers can only ever observe a complete entry.
+    head.store(entry, std::memory_order_release);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return entry;
+}
+
+ReadResult
+KvStore::read(Key key) const
+{
+    ReadResult result;
+    const Entry *entry = findEntry(key);
+    if (!entry)
+        return result;
+    for (;;) {
+        uint64_t snapshot = entry->lock.readBegin();
+        if (snapshot % 2 != 0)
+            continue; // writer in progress; spin, writes are short
+        KeyMeta meta = entry->meta;
+        size_t len = entry->len;
+        Value value;
+        if (len <= maxValueSize_)
+            value.assign(entryData(entry), len);
+        if (entry->lock.readValidate(snapshot)) {
+            result.found = true;
+            result.meta = meta;
+            result.value = std::move(value);
+            return result;
+        }
+    }
+}
+
+void
+KvStore::forEach(
+    const std::function<void(Key, const KeyMeta &, std::string_view)> &fn)
+    const
+{
+    for (size_t b = 0; b < numBuckets_; ++b) {
+        const Entry *entry = buckets_[b].load(std::memory_order_acquire);
+        while (entry) {
+            // Copy under the seqlock so callers get a consistent view.
+            for (;;) {
+                uint64_t snapshot = entry->lock.readBegin();
+                if (snapshot % 2 != 0)
+                    continue;
+                KeyMeta meta = entry->meta;
+                size_t len = entry->len;
+                Value value(entryData(entry), len <= maxValueSize_ ? len : 0);
+                if (entry->lock.readValidate(snapshot)) {
+                    fn(entry->key, meta, value);
+                    break;
+                }
+            }
+            entry = entry->next;
+        }
+    }
+}
+
+} // namespace hermes::store

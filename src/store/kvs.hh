@@ -1,0 +1,230 @@
+/**
+ * @file
+ * The in-memory KVS substrate (paper §4.1): a hash table with seqlock
+ * lock-free readers and striped-spinlock writers, extended with the
+ * per-key protocol metadata Hermes and the baselines keep next to each
+ * value (state, logical timestamp, flags).
+ *
+ * Concurrency discipline (CRCW, as in ccKVS):
+ *  - readers (`read`) walk a bucket chain and copy a matching entry under
+ *    its seqlock; they never block and never take locks;
+ *  - writers (`withKey`) take the bucket's stripe spinlock, then flip the
+ *    entry's seqlock around the mutation, so readers observe either the
+ *    old or the new version, never a torn one.
+ *
+ * Safety of lock-free traversal rests on three store invariants:
+ * entries are only ever *prepended* (head is published with release after
+ * the entry is fully initialized), `next` pointers are immutable after
+ * publication, and keys are never deleted — the replication protocols here
+ * have no delete operation, matching the paper's read/write/RMW API.
+ * Values live inline in the entry (capacity fixed at construction) so a
+ * reader's copy can never chase storage a writer is reallocating.
+ */
+
+#ifndef HERMES_STORE_KVS_HH
+#define HERMES_STORE_KVS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/timestamp.hh"
+#include "common/types.hh"
+#include "store/seqlock.hh"
+
+namespace hermes::store
+{
+
+/**
+ * Per-key replication metadata stored alongside the value. The KVS does
+ * not interpret it: `state` and `flags` carry each protocol's per-key
+ * state machine (Hermes: Valid/Invalid/Write/Replay/Trans + RMW flag;
+ * CRAQ: clean/dirty + committed version in aux).
+ */
+struct KeyMeta
+{
+    Timestamp ts{};      ///< logical timestamp of the stored value
+    uint8_t state = 0;   ///< protocol-defined state enum
+    uint8_t flags = 0;   ///< protocol-defined flag bits
+    uint16_t pad = 0;
+    uint32_t aux = 0;    ///< protocol-defined (e.g. CRAQ committed version)
+};
+static_assert(sizeof(KeyMeta) == 16, "KeyMeta is copied under seqlocks");
+
+/** Writer-side view of one entry, valid only inside withKey's closure. */
+class KeyRecord
+{
+  public:
+    /** Protocol metadata (mutable). */
+    KeyMeta &meta() { return *meta_; }
+
+    /** Current value bytes. */
+    std::string_view value() const { return {data_, *len_}; }
+
+    /** Replace the value (must fit the store's value capacity). */
+    void
+    setValue(std::string_view v)
+    {
+        hermes_assert(v.size() <= cap_);
+        std::memcpy(data_, v.data(), v.size());
+        *len_ = v.size();
+    }
+
+    /** @return true if the key existed before this access. */
+    bool existed() const { return existed_; }
+
+  private:
+    friend class KvStore;
+    KeyRecord(KeyMeta *meta, char *data, size_t *len, size_t cap,
+              bool existed)
+        : meta_(meta), data_(data), len_(len), cap_(cap), existed_(existed)
+    {}
+
+    KeyMeta *meta_;
+    char *data_;
+    size_t *len_;
+    size_t cap_;
+    bool existed_;
+};
+
+/** Result of a lock-free read. */
+struct ReadResult
+{
+    bool found = false;
+    KeyMeta meta{};
+    Value value;
+};
+
+/**
+ * Concurrent chained hash table with inline values.
+ */
+class KvStore
+{
+  public:
+    /**
+     * @param capacity_keys   expected number of distinct keys (sizes the
+     *                        bucket array; exceeding it only lengthens
+     *                        chains, it does not break the store)
+     * @param max_value_size  inline value capacity per entry
+     */
+    KvStore(size_t capacity_keys, size_t max_value_size);
+    ~KvStore();
+
+    KvStore(const KvStore &) = delete;
+    KvStore &operator=(const KvStore &) = delete;
+
+    /**
+     * Lock-free read of key and its metadata via the entry seqlock.
+     * Safe to call concurrently with writers from any thread.
+     */
+    ReadResult read(Key key) const;
+
+    /**
+     * Run @p fn on the (possibly fresh) record of @p key with the stripe
+     * lock held and the entry seqlock flipped around it. @p fn must be
+     * short and non-blocking. Returns @p fn 's result.
+     *
+     * This is the primitive every protocol transition uses: compare the
+     * local timestamp, maybe update value/state, all atomically with
+     * respect to readers and other writers.
+     */
+    template <typename F>
+    auto
+    withKey(Key key, F &&fn)
+    {
+        SpinGuard guard(stripes_[stripeOf(key)]);
+        bool existed = true;
+        Entry *entry = findEntry(key);
+        if (!entry) {
+            entry = insertLocked(key);
+            existed = false;
+        }
+        entry->lock.writeBegin();
+        KeyRecord rec(&entry->meta, entryData(entry), &entry->len,
+                      maxValueSize_, existed);
+        if constexpr (std::is_void_v<decltype(fn(rec))>) {
+            fn(rec);
+            entry->lock.writeEnd();
+        } else {
+            auto result = fn(rec);
+            entry->lock.writeEnd();
+            return result;
+        }
+    }
+
+    /**
+     * Iterate all present keys. Entries appearing during the iteration may
+     * or may not be visited; each visited entry is copied consistently.
+     * Used for state transfer to joining shadow replicas (§3.4) and by
+     * tests checking replica convergence.
+     */
+    void forEach(
+        const std::function<void(Key, const KeyMeta &, std::string_view)>
+            &fn) const;
+
+    /** Number of distinct keys inserted so far. */
+    size_t size() const { return size_.load(std::memory_order_relaxed); }
+
+    /** Inline value capacity. */
+    size_t maxValueSize() const { return maxValueSize_; }
+
+  private:
+    struct Entry
+    {
+        Entry *next = nullptr; // immutable after publication
+        Seqlock lock;
+        Key key = 0;
+        size_t len = 0;
+        KeyMeta meta{};
+        // value bytes follow the struct inline
+    };
+
+    char *
+    entryData(Entry *entry) const
+    {
+        return reinterpret_cast<char *>(entry) + sizeof(Entry);
+    }
+
+    const char *
+    entryData(const Entry *entry) const
+    {
+        return reinterpret_cast<const char *>(entry) + sizeof(Entry);
+    }
+
+    size_t
+    bucketOf(Key key) const
+    {
+        return mix64(key) & (numBuckets_ - 1);
+    }
+
+    size_t
+    stripeOf(Key key) const
+    {
+        return bucketOf(key) & (kNumStripes - 1);
+    }
+
+    /** Lock-free chain walk; returns nullptr if absent. */
+    Entry *findEntry(Key key) const;
+
+    /** Allocate, initialize and publish a new entry (stripe lock held). */
+    Entry *insertLocked(Key key);
+
+    size_t numBuckets_;
+    size_t maxValueSize_;
+    std::vector<std::atomic<Entry *>> buckets_;
+    mutable std::vector<Spinlock> stripes_;
+    std::atomic<size_t> size_{0};
+
+    static constexpr size_t kNumStripes = 1024;
+};
+
+} // namespace hermes::store
+
+#endif // HERMES_STORE_KVS_HH

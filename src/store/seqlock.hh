@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Sequence locks for lock-free readers (paper §4.1: the KVS "supports CRCW
+ * using seqlocks ... beneficial as they allow for efficient lock-free
+ * reads").
+ *
+ * The counter is even when the protected data is stable and odd while a
+ * writer is mid-update. Readers snapshot the counter, copy the data, and
+ * retry if the counter moved or was odd; they never block writers, and
+ * writers never block readers.
+ */
+
+#ifndef HERMES_STORE_SEQLOCK_HH
+#define HERMES_STORE_SEQLOCK_HH
+
+#include <atomic>
+#include <cstdint>
+
+namespace hermes::store
+{
+
+/**
+ * A seqlock version counter. Writer mutual exclusion is *not* provided
+ * here — the KVS serializes writers with striped spinlocks — so beginWrite
+ * simply bumps to odd.
+ */
+class Seqlock
+{
+  public:
+    /** Reader: snapshot the counter before copying the data. */
+    uint64_t
+    readBegin() const
+    {
+        return seq_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Reader: validate a copy made after readBegin().
+     * @return true if the copy is consistent (no concurrent write).
+     */
+    bool
+    readValidate(uint64_t snapshot) const
+    {
+        std::atomic_thread_fence(std::memory_order_acquire);
+        return snapshot % 2 == 0
+               && seq_.load(std::memory_order_relaxed) == snapshot;
+    }
+
+    /** Writer: enter the critical section (counter becomes odd). */
+    void
+    writeBegin()
+    {
+        seq_.fetch_add(1, std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_release);
+    }
+
+    /** Writer: leave the critical section (counter becomes even). */
+    void
+    writeEnd()
+    {
+        seq_.fetch_add(1, std::memory_order_release);
+    }
+
+  private:
+    std::atomic<uint64_t> seq_{0};
+};
+
+/** Minimal test-and-test-and-set spinlock for writer striping. */
+class Spinlock
+{
+  public:
+    void
+    lock()
+    {
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+            while (flag_.load(std::memory_order_relaxed)) {
+                // spin; writes are short (copy <=1KB)
+            }
+        }
+    }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/** RAII guard for Spinlock. */
+class SpinGuard
+{
+  public:
+    explicit SpinGuard(Spinlock &lock) : lock_(lock) { lock_.lock(); }
+    ~SpinGuard() { lock_.unlock(); }
+
+    SpinGuard(const SpinGuard &) = delete;
+    SpinGuard &operator=(const SpinGuard &) = delete;
+
+  private:
+    Spinlock &lock_;
+};
+
+} // namespace hermes::store
+
+#endif // HERMES_STORE_SEQLOCK_HH

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * LoadDriver: closed-loop semantics, measurement windows, timelines and
+ * history recording.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/cluster.hh"
+#include "app/driver.hh"
+#include "app/lin_checker.hh"
+
+namespace hermes::app
+{
+namespace
+{
+
+ClusterConfig
+smallCluster(Protocol protocol = Protocol::Hermes)
+{
+    ClusterConfig config;
+    config.protocol = protocol;
+    config.nodes = 3;
+    return config;
+}
+
+TEST(Driver, ProducesThroughputAndLatency)
+{
+    SimCluster cluster(smallCluster());
+    cluster.start();
+    DriverConfig config;
+    config.workload.numKeys = 1000;
+    config.workload.writeRatio = 0.05;
+    config.sessionsPerNode = 10;
+    config.warmup = 2_ms;
+    config.measure = 10_ms;
+    LoadDriver driver(cluster, config);
+    DriverResult result = driver.run();
+
+    EXPECT_GT(result.throughputMops, 0.5);
+    EXPECT_GT(result.opsInWindow, 1000u);
+    EXPECT_GT(result.readLatencyNs.count(), 0u);
+    EXPECT_GT(result.writeLatencyNs.count(), 0u);
+    // Reads are local (~us); writes need a round trip: strictly slower.
+    EXPECT_LT(result.readLatencyNs.median(),
+              result.writeLatencyNs.median());
+}
+
+TEST(Driver, ClosedLoopKeepsOneOpPerSession)
+{
+    SimCluster cluster(smallCluster());
+    cluster.start();
+    DriverConfig config;
+    config.sessionsPerNode = 7;
+    config.warmup = 1_ms;
+    config.measure = 5_ms;
+    LoadDriver driver(cluster, config);
+    DriverResult result = driver.run();
+    EXPECT_EQ(result.outstandingAtEnd, 3u * 7u);
+}
+
+TEST(Driver, MoreSessionsMoreThroughputUntilSaturation)
+{
+    auto throughput_at = [](size_t sessions) {
+        ClusterConfig cluster_config = smallCluster();
+        SimCluster cluster(cluster_config);
+        cluster.start();
+        DriverConfig config;
+        config.workload.numKeys = 10000;
+        config.workload.writeRatio = 0.05;
+        config.sessionsPerNode = sessions;
+        config.warmup = 2_ms;
+        config.measure = 8_ms;
+        LoadDriver driver(cluster, config);
+        return driver.run().throughputMops;
+    };
+    double low = throughput_at(2);
+    double high = throughput_at(32);
+    EXPECT_GT(high, low * 2) << "load must scale with session count";
+}
+
+TEST(Driver, TimelineBucketsCoverRun)
+{
+    SimCluster cluster(smallCluster());
+    cluster.start();
+    DriverConfig config;
+    config.sessionsPerNode = 5;
+    config.warmup = 0;
+    config.measure = 10_ms;
+    config.timelineBucket = 2_ms;
+    LoadDriver driver(cluster, config);
+    DriverResult result = driver.run();
+    ASSERT_GE(result.timelineMops.size(), 5u);
+    // Middle buckets must all show steady progress.
+    for (size_t i = 1; i < 4; ++i)
+        EXPECT_GT(result.timelineMops[i], 0.0) << "bucket " << i;
+}
+
+TEST(Driver, HistoryRecordsEveryCompletedOp)
+{
+    SimCluster cluster(smallCluster());
+    cluster.start();
+    DriverConfig config;
+    config.workload.numKeys = 5;
+    config.workload.writeRatio = 0.5;
+    config.sessionsPerNode = 2;
+    config.warmup = 0;
+    config.measure = 5_ms;
+    config.recordHistory = true;
+    LoadDriver driver(cluster, config);
+    DriverResult result = driver.run();
+    size_t completed = 0;
+    for (const HistOp &op : result.history.ops())
+        completed += !op.isPending();
+    EXPECT_EQ(completed, result.opsTotal);
+    for (const HistOp &op : result.history.ops()) {
+        EXPECT_LT(op.key, 5u);
+        if (!op.isPending())
+            EXPECT_LE(op.invoke, op.response);
+    }
+}
+
+TEST(Driver, CrashedNodeSessionsFlushAsPending)
+{
+    ClusterConfig cluster_config = smallCluster();
+    SimCluster cluster(cluster_config);
+    cluster.start();
+    cluster.runtime().events().scheduleAt(2_ms,
+                                          [&cluster] { cluster.crash(2); });
+    DriverConfig config;
+    config.workload.writeRatio = 1.0;
+    config.sessionsPerNode = 4;
+    config.warmup = 0;
+    config.measure = 6_ms;
+    config.recordHistory = true;
+    LoadDriver driver(cluster, config);
+    DriverResult result = driver.run();
+    size_t pending = 0;
+    for (const HistOp &op : result.history.ops())
+        pending += op.isPending();
+    EXPECT_GE(pending, 1u) << "crashed node's in-flight writes are pending";
+}
+
+TEST(Driver, DeterministicGivenSeeds)
+{
+    auto run_once = [] {
+        ClusterConfig cluster_config = smallCluster();
+        cluster_config.seed = 77;
+        SimCluster cluster(cluster_config);
+        cluster.start();
+        DriverConfig config;
+        config.seed = 123;
+        config.sessionsPerNode = 4;
+        config.warmup = 1_ms;
+        config.measure = 5_ms;
+        LoadDriver driver(cluster, config);
+        return driver.run().opsInWindow;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace hermes::app

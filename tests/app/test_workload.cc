@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Workload generator: ratios, key ranges, value tagging, skew plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/workload.hh"
+
+namespace hermes::app
+{
+namespace
+{
+
+TEST(Workload, WriteRatioHonored)
+{
+    WorkloadConfig config;
+    config.numKeys = 100;
+    config.writeRatio = 0.2;
+    Workload workload(config);
+    Rng rng(1);
+    int writes = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        writes += workload.next(rng).kind != WorkloadOp::Kind::Read;
+    EXPECT_NEAR(writes / double(kSamples), 0.2, 0.01);
+}
+
+TEST(Workload, ReadOnlyAndWriteOnlyExtremes)
+{
+    WorkloadConfig config;
+    config.numKeys = 10;
+    config.writeRatio = 0.0;
+    Workload read_only(config);
+    config.writeRatio = 1.0;
+    Workload write_only(config);
+    Rng rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(read_only.next(rng).kind, WorkloadOp::Kind::Read);
+        EXPECT_NE(write_only.next(rng).kind, WorkloadOp::Kind::Read);
+    }
+}
+
+TEST(Workload, KeysInRange)
+{
+    WorkloadConfig config;
+    config.numKeys = 37;
+    Workload workload(config);
+    Rng rng(3);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(workload.nextKey(rng), 37u);
+}
+
+TEST(Workload, CasRatioSplitsUpdates)
+{
+    WorkloadConfig config;
+    config.numKeys = 10;
+    config.writeRatio = 0.5;
+    config.casRatio = 0.5;
+    Workload workload(config);
+    Rng rng(4);
+    int cas = 0, writes = 0;
+    for (int i = 0; i < 40000; ++i) {
+        WorkloadOp op = workload.next(rng);
+        cas += op.kind == WorkloadOp::Kind::Cas;
+        writes += op.kind == WorkloadOp::Kind::Write;
+    }
+    EXPECT_NEAR(cas / double(cas + writes), 0.5, 0.03);
+}
+
+TEST(Workload, SkewConcentratesOnHotKeys)
+{
+    WorkloadConfig config;
+    config.numKeys = 10000;
+    config.zipfTheta = 0.99;
+    Workload workload(config);
+    Rng rng(5);
+    int hot = 0;
+    constexpr int kSamples = 50000;
+    for (int i = 0; i < kSamples; ++i)
+        hot += workload.nextKey(rng) < 100; // top 1% of keys
+    EXPECT_GT(hot / double(kSamples), 0.3)
+        << "zipf(0.99) must concentrate accesses";
+}
+
+TEST(Workload, ValueSizeAndTagRoundTrip)
+{
+    WorkloadConfig config;
+    config.valueSize = 100;
+    Workload workload(config);
+    Value value = workload.makeValue(0xDEADBEEFCAFEull);
+    EXPECT_EQ(value.size(), 100u);
+    EXPECT_EQ(Workload::tagOf(value), 0xDEADBEEFCAFEull);
+    EXPECT_EQ(Workload::tagOf(""), 0u);
+}
+
+TEST(Workload, TinyValuesStillCarryTag)
+{
+    WorkloadConfig config;
+    config.valueSize = 2; // smaller than a tag: generator pads
+    Workload workload(config);
+    Value value = workload.makeValue(77);
+    EXPECT_GE(value.size(), sizeof(uint64_t));
+    EXPECT_EQ(Workload::tagOf(value), 77u);
+}
+
+TEST(Workload, DeterministicPerSeed)
+{
+    WorkloadConfig config;
+    config.numKeys = 1000;
+    config.writeRatio = 0.3;
+    Workload workload(config);
+    Rng a(9), b(9);
+    for (int i = 0; i < 1000; ++i) {
+        WorkloadOp op_a = workload.next(a);
+        WorkloadOp op_b = workload.next(b);
+        EXPECT_EQ(op_a.key, op_b.key);
+        EXPECT_EQ(static_cast<int>(op_a.kind), static_cast<int>(op_b.kind));
+    }
+}
+
+} // namespace
+} // namespace hermes::app

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Latency histogram: quantile accuracy bounds that the paper-style
+ * median/99th reporting depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/histogram.hh"
+
+namespace hermes
+{
+namespace
+{
+
+TEST(Histogram, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.median(), 0u);
+    EXPECT_EQ(h.p99(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(Histogram, SingleSample)
+{
+    Histogram h;
+    h.record(1500);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1500u);
+    EXPECT_EQ(h.max(), 1500u);
+    // Bucketed value must be within the 1/32 relative-error bound.
+    EXPECT_NEAR(h.median(), 1500.0, 1500.0 / 16);
+}
+
+TEST(Histogram, SmallValuesAreExact)
+{
+    Histogram h;
+    for (uint64_t v = 0; v < 32; ++v)
+        h.record(v);
+    EXPECT_EQ(h.valueAtQuantile(0.0), 0u);
+    EXPECT_EQ(h.max(), 31u);
+    EXPECT_EQ(h.count(), 32u);
+}
+
+TEST(Histogram, QuantilesOfUniformRamp)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 100000; ++v)
+        h.record(v);
+    EXPECT_NEAR(h.median(), 50000.0, 50000.0 * 0.05);
+    EXPECT_NEAR(h.p99(), 99000.0, 99000.0 * 0.05);
+    EXPECT_NEAR(h.mean(), 50000.5, 1.0);
+}
+
+TEST(Histogram, TailDominatesP99)
+{
+    Histogram h;
+    h.recordMany(1000, 990);    // fast ops
+    h.recordMany(500000, 10);   // straggler tail
+    EXPECT_NEAR(h.median(), 1000.0, 1000.0 * 0.05);
+    EXPECT_GT(h.p99(), 100000u);
+}
+
+TEST(Histogram, MergeEqualsCombinedRecording)
+{
+    Histogram a, b, combined;
+    for (uint64_t v = 1; v < 5000; v += 7) {
+        a.record(v);
+        combined.record(v);
+    }
+    for (uint64_t v = 10000; v < 200000; v += 997) {
+        b.record(v);
+        combined.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), combined.count());
+    EXPECT_EQ(a.min(), combined.min());
+    EXPECT_EQ(a.max(), combined.max());
+    EXPECT_EQ(a.median(), combined.median());
+    EXPECT_EQ(a.p99(), combined.p99());
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(123);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+}
+
+TEST(Histogram, LargeValuesDoNotOverflowBuckets)
+{
+    Histogram h;
+    h.record(1ull << 39); // ~9 minutes in ns
+    h.record(1ull << 20);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_GE(h.max(), 1ull << 39);
+}
+
+TEST(Histogram, QuantileClampedToObservedRange)
+{
+    Histogram h;
+    h.record(1000);
+    h.record(1001);
+    EXPECT_GE(h.valueAtQuantile(1.0), 1000u);
+    EXPECT_LE(h.valueAtQuantile(1.0), 1001u);
+    EXPECT_GE(h.valueAtQuantile(0.0), 1000u);
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * RNG determinism and distribution sanity for the workload generators —
+ * the Zipfian generator drives the paper's §6.2 skew experiments, so its
+ * popularity profile must actually match zipf(0.99).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace hermes
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BoundedStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        uint64_t v = rng.nextBounded(13);
+        EXPECT_LT(v, 13u);
+    }
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(11);
+    constexpr int kBuckets = 16;
+    constexpr int kSamples = 160000;
+    std::vector<int> counts(kBuckets, 0);
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[rng.nextBounded(kBuckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / kBuckets * 0.9);
+        EXPECT_LT(c, kSamples / kBuckets * 1.1);
+    }
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng rng(3);
+    double sum = 0;
+    constexpr int kSamples = 200000;
+    for (int i = 0; i < kSamples; ++i)
+        sum += rng.nextExponential(250.0);
+    EXPECT_NEAR(sum / kSamples, 250.0, 5.0);
+}
+
+TEST(Rng, NextBoolProbability)
+{
+    Rng rng(5);
+    int hits = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i)
+        hits += rng.nextBool(0.05);
+    EXPECT_NEAR(hits / double(kSamples), 0.05, 0.005);
+}
+
+TEST(Zipfian, RankZeroIsHottest)
+{
+    ZipfianGenerator zipf(1000, 0.99);
+    Rng rng(17);
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < 100000; ++i)
+        ++counts[zipf.next(rng)];
+    int hottest = counts[0];
+    for (auto &[rank, count] : counts) {
+        if (rank > 0)
+            EXPECT_GE(hottest, count * 0.8)
+                << "rank " << rank << " beat rank 0";
+    }
+}
+
+TEST(Zipfian, MatchesAnalyticProbabilities)
+{
+    ZipfianGenerator zipf(100, 0.99);
+    Rng rng(23);
+    constexpr int kSamples = 500000;
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.next(rng)];
+    // The head of the distribution must track zeta-normalized 1/r^theta.
+    for (uint64_t rank : {0ull, 1ull, 2ull, 9ull, 49ull}) {
+        double expected = zipf.probabilityOfRank(rank);
+        double measured = counts[rank] / double(kSamples);
+        EXPECT_NEAR(measured, expected, expected * 0.15 + 0.001)
+            << "rank " << rank;
+    }
+}
+
+TEST(Zipfian, ThetaZeroDegeneratesToUniformish)
+{
+    ZipfianGenerator zipf(64, 0.0);
+    Rng rng(29);
+    std::vector<int> counts(64, 0);
+    constexpr int kSamples = 128000;
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[zipf.next(rng)];
+    for (int c : counts) {
+        EXPECT_GT(c, kSamples / 64 * 0.8);
+        EXPECT_LT(c, kSamples / 64 * 1.2);
+    }
+}
+
+TEST(Zipfian, AllRanksInRange)
+{
+    ZipfianGenerator zipf(10, 0.99);
+    Rng rng(31);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(zipf.next(rng), 10u);
+}
+
+TEST(Mix64, IsBijectiveOnSamples)
+{
+    // Distinct inputs must give distinct outputs (mix64 scatters keys).
+    std::map<uint64_t, uint64_t> seen;
+    for (uint64_t i = 0; i < 10000; ++i) {
+        uint64_t h = mix64(i);
+        auto [it, inserted] = seen.emplace(h, i);
+        EXPECT_TRUE(inserted) << "collision between " << i << " and "
+                              << it->second;
+    }
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Binary serialization round-trips and the bounds-checking that protects
+ * replicas from truncated/corrupt frames (treated as message loss).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/serialize.hh"
+#include "hermes/messages.hh"
+#include "membership/messages.hh"
+#include "net/message.hh"
+
+namespace hermes
+{
+namespace
+{
+
+TEST(Serialize, ScalarRoundTrip)
+{
+    std::vector<uint8_t> buf;
+    BufWriter writer(buf);
+    writer.putU8(0xAB);
+    writer.putU16(0xBEEF);
+    writer.putU32(0xDEADBEEF);
+    writer.putU64(0x0123456789ABCDEFull);
+    writer.putString("hermes");
+
+    BufReader reader(buf.data(), buf.size());
+    EXPECT_EQ(reader.getU8(), 0xAB);
+    EXPECT_EQ(reader.getU16(), 0xBEEF);
+    EXPECT_EQ(reader.getU32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.getU64(), 0x0123456789ABCDEFull);
+    EXPECT_EQ(reader.getString(), "hermes");
+    EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(Serialize, UnderrunSetsNotOk)
+{
+    std::vector<uint8_t> buf{1, 2};
+    BufReader reader(buf.data(), buf.size());
+    EXPECT_EQ(reader.getU64(), 0u);
+    EXPECT_FALSE(reader.ok());
+}
+
+TEST(Serialize, TruncatedStringSetsNotOk)
+{
+    std::vector<uint8_t> buf;
+    BufWriter writer(buf);
+    writer.putU32(100); // claims 100 bytes follow; none do
+    BufReader reader(buf.data(), buf.size());
+    EXPECT_EQ(reader.getString(), "");
+    EXPECT_FALSE(reader.ok());
+}
+
+TEST(Serialize, EmptyString)
+{
+    std::vector<uint8_t> buf;
+    BufWriter writer(buf);
+    writer.putString("");
+    BufReader reader(buf.data(), buf.size());
+    EXPECT_EQ(reader.getString(), "");
+    EXPECT_TRUE(reader.exhausted());
+}
+
+TEST(MessageCodec, InvRoundTrip)
+{
+    proto::registerHermesCodecs();
+    proto::InvMsg inv;
+    inv.src = 3;
+    inv.epoch = 7;
+    inv.key = 0xFEEDull;
+    inv.ts = {42, 3};
+    inv.rmw = true;
+    inv.value = std::string(200, 'v');
+
+    std::vector<uint8_t> bytes;
+    net::encodeMessage(inv, bytes);
+    auto decoded = net::decodeMessage(bytes.data(), bytes.size());
+    ASSERT_NE(decoded, nullptr);
+    auto &out = static_cast<proto::InvMsg &>(*decoded);
+    EXPECT_EQ(out.src, 3u);
+    EXPECT_EQ(out.epoch, 7u);
+    EXPECT_EQ(out.key, 0xFEEDull);
+    EXPECT_EQ(out.ts, (Timestamp{42, 3}));
+    EXPECT_TRUE(out.rmw);
+    EXPECT_EQ(out.value, std::string(200, 'v'));
+}
+
+TEST(MessageCodec, AckValRoundTrip)
+{
+    proto::registerHermesCodecs();
+    proto::AckMsg ack;
+    ack.key = 9;
+    ack.ts = {5, 1};
+    std::vector<uint8_t> bytes;
+    net::encodeMessage(ack, bytes);
+    auto decoded = net::decodeMessage(bytes.data(), bytes.size());
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(static_cast<proto::AckMsg &>(*decoded).ts, (Timestamp{5, 1}));
+
+    proto::ValMsg val;
+    val.key = 9;
+    val.ts = {6, 2};
+    bytes.clear();
+    net::encodeMessage(val, bytes);
+    decoded = net::decodeMessage(bytes.data(), bytes.size());
+    ASSERT_NE(decoded, nullptr);
+    EXPECT_EQ(static_cast<proto::ValMsg &>(*decoded).ts, (Timestamp{6, 2}));
+}
+
+TEST(MessageCodec, RmPromiseWithAcceptedValueRoundTrip)
+{
+    membership::registerRmCodecs();
+    membership::RmPromiseMsg promise;
+    promise.targetEpoch = 4;
+    promise.ballot = {2, 1};
+    promise.reply.ok = true;
+    promise.reply.promised = {2, 1};
+    promise.reply.acceptedBallot = membership::Ballot{1, 0};
+    promise.reply.acceptedValue = membership::MembershipView{4, {0, 2, 3}};
+
+    std::vector<uint8_t> bytes;
+    net::encodeMessage(promise, bytes);
+    auto decoded = net::decodeMessage(bytes.data(), bytes.size());
+    ASSERT_NE(decoded, nullptr);
+    auto &out = static_cast<membership::RmPromiseMsg &>(*decoded);
+    EXPECT_TRUE(out.reply.ok);
+    ASSERT_TRUE(out.reply.acceptedValue.has_value());
+    EXPECT_EQ(out.reply.acceptedValue->live, (NodeSet{0, 2, 3}));
+    EXPECT_EQ(out.reply.acceptedValue->epoch, 4u);
+}
+
+TEST(MessageCodec, CorruptFrameReturnsNull)
+{
+    proto::registerHermesCodecs();
+    std::vector<uint8_t> garbage{0, 1, 2};
+    EXPECT_EQ(net::decodeMessage(garbage.data(), garbage.size()), nullptr);
+}
+
+TEST(MessageCodec, UnknownTypeReturnsNull)
+{
+    std::vector<uint8_t> frame;
+    BufWriter writer(frame);
+    writer.putU8(250); // not a registered type
+    writer.putU32(0);
+    writer.putU32(0);
+    EXPECT_EQ(net::decodeMessage(frame.data(), frame.size()), nullptr);
+}
+
+} // namespace
+} // namespace hermes

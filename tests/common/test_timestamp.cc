@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Lamport timestamp ordering: the total order every replica uses to agree
+ * on a single global write order per key (paper §3.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/timestamp.hh"
+
+namespace hermes
+{
+namespace
+{
+
+TEST(Timestamp, GenesisIsSmallest)
+{
+    Timestamp genesis;
+    EXPECT_TRUE(genesis.isGenesis());
+    EXPECT_LT(genesis, (Timestamp{1, 0}));
+    EXPECT_LT(genesis, (Timestamp{0, 1}));
+}
+
+TEST(Timestamp, VersionDominatesCid)
+{
+    // Paper footnote 5: A > B iff vA > vB, or vA == vB and cidA > cidB.
+    EXPECT_LT((Timestamp{1, 99}), (Timestamp{2, 0}));
+    EXPECT_GT((Timestamp{3, 0}), (Timestamp{2, 99}));
+}
+
+TEST(Timestamp, CidBreaksTies)
+{
+    EXPECT_LT((Timestamp{2, 1}), (Timestamp{2, 3}));
+    EXPECT_EQ((Timestamp{2, 3}), (Timestamp{2, 3}));
+}
+
+TEST(Timestamp, WriteStepsVersionByTwo)
+{
+    Timestamp ts{4, 1};
+    Timestamp next = ts.nextWrite(2);
+    EXPECT_EQ(next.version, 6u);
+    EXPECT_EQ(next.cid, 2u);
+}
+
+TEST(Timestamp, RmwStepsVersionByOne)
+{
+    Timestamp ts{4, 1};
+    Timestamp next = ts.nextRmw(2);
+    EXPECT_EQ(next.version, 5u);
+    EXPECT_EQ(next.cid, 2u);
+}
+
+TEST(Timestamp, ConcurrentWriteAlwaysBeatsConcurrentRmw)
+{
+    // §3.6: a write racing an RMW from the same base version must carry
+    // the higher timestamp regardless of the node ids involved.
+    Timestamp base{10, 3};
+    Timestamp write = base.nextWrite(0);   // lowest possible cid
+    Timestamp rmw = base.nextRmw(4294967295u); // highest possible cid
+    EXPECT_GT(write, rmw);
+}
+
+TEST(Timestamp, TotalOrderIsTransitive)
+{
+    Timestamp a{1, 2}, b{2, 1}, c{2, 2};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_LT(a, c);
+}
+
+TEST(Timestamp, ToStringFormat)
+{
+    EXPECT_EQ((Timestamp{7, 3}).toString(), "[7,3]");
+}
+
+} // namespace
+} // namespace hermes

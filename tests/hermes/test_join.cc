@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Node join via shadow replicas (paper §3.4 Recovery): the membership is
+ * reliably extended, the new node follows all writes while streaming the
+ * datastore in chunks, and becomes operational once caught up.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/cluster.hh"
+#include "app/driver.hh"
+#include "app/lin_checker.hh"
+
+namespace hermes
+{
+namespace
+{
+
+using app::ClusterConfig;
+using app::Protocol;
+using app::SimCluster;
+
+ClusterConfig
+joinConfig(size_t nodes, size_t initial_live)
+{
+    ClusterConfig config;
+    config.protocol = Protocol::Hermes;
+    config.nodes = nodes;
+    config.initialLive = initial_live;
+    return config;
+}
+
+TEST(HermesJoin, SpareStartsAsShadow)
+{
+    SimCluster cluster(joinConfig(4, 3));
+    cluster.start();
+    EXPECT_TRUE(cluster.replica(3).hermes()->isShadow());
+    EXPECT_FALSE(cluster.replica(0).hermes()->isShadow());
+    // A shadow serves no reads: the request parks until it's synced.
+    auto value = cluster.readSync(3, 1, 5_ms);
+    EXPECT_FALSE(value.has_value());
+}
+
+TEST(HermesJoin, ShadowSyncTransfersWholeStore)
+{
+    SimCluster cluster(joinConfig(4, 3));
+    cluster.start();
+    for (Key key = 0; key < 300; ++key) {
+        ASSERT_TRUE(cluster.writeSync(static_cast<NodeId>(key % 3), key,
+                                      "v" + std::to_string(key)));
+    }
+    // Reliable m-update first, then the stream (§3.4 ordering).
+    membership::MembershipView extended{2, {0, 1, 2, 3}};
+    for (NodeId n = 0; n < 4; ++n) {
+        cluster.runtime().submit(n, 0, [&cluster, n, extended] {
+            cluster.replica(n).injectView(extended);
+        });
+    }
+    cluster.runtime().submit(3, 0, [&] {
+        cluster.replica(3).hermes()->startShadowSync(0);
+    });
+    cluster.runFor(50_ms);
+
+    EXPECT_FALSE(cluster.replica(3).hermes()->isShadow());
+    for (Key key = 0; key < 300; ++key) {
+        EXPECT_EQ(cluster.readSync(3, key).value_or("?"),
+                  "v" + std::to_string(key))
+            << "key " << key;
+    }
+}
+
+TEST(HermesJoin, ShadowParticipatesInWritesWhileSyncing)
+{
+    SimCluster cluster(joinConfig(4, 3));
+    cluster.start();
+    for (Key key = 0; key < 200; ++key)
+        ASSERT_TRUE(cluster.writeSync(0, key, "old"));
+
+    membership::MembershipView extended{2, {0, 1, 2, 3}};
+    for (NodeId n = 0; n < 4; ++n) {
+        cluster.runtime().submit(n, 0, [&cluster, n, extended] {
+            cluster.replica(n).injectView(extended);
+        });
+    }
+    cluster.runtime().submit(3, 0, [&] {
+        cluster.replica(3).hermes()->startShadowSync(1);
+    });
+    // Writes racing the transfer: they need the shadow's ACK to commit,
+    // so the shadow must end up with the NEW values, never regressing.
+    for (Key key = 0; key < 200; key += 2)
+        ASSERT_TRUE(cluster.writeSync(2, key, "new", 50_ms));
+    cluster.runFor(50_ms);
+
+    EXPECT_FALSE(cluster.replica(3).hermes()->isShadow());
+    for (Key key = 0; key < 200; ++key) {
+        EXPECT_EQ(cluster.readSync(3, key).value_or("?"),
+                  key % 2 == 0 ? "new" : "old")
+            << "key " << key;
+        EXPECT_TRUE(cluster.converged(key)) << "key " << key;
+    }
+}
+
+TEST(HermesJoin, ChunkLossRecoveredByRetry)
+{
+    SimCluster cluster(joinConfig(4, 3));
+    cluster.start();
+    for (Key key = 0; key < 150; ++key)
+        ASSERT_TRUE(cluster.writeSync(0, key, "x"));
+
+    membership::MembershipView extended{2, {0, 1, 2, 3}};
+    for (NodeId n = 0; n < 4; ++n) {
+        cluster.runtime().submit(n, 0, [&cluster, n, extended] {
+            cluster.replica(n).injectView(extended);
+        });
+    }
+    int drops = 0;
+    cluster.runtime().network().setDropFilter(
+        [&drops](NodeId, NodeId, const net::MessagePtr &msg) {
+            if (msg->type() == net::MsgType::HermesStateChunk
+                    && drops < 2) {
+                ++drops;
+                return true;
+            }
+            return false;
+        });
+    cluster.runtime().submit(3, 0, [&] {
+        cluster.replica(3).hermes()->startShadowSync(0);
+    });
+    cluster.runFor(100_ms);
+    EXPECT_EQ(drops, 2);
+    EXPECT_FALSE(cluster.replica(3).hermes()->isShadow());
+    EXPECT_EQ(cluster.readSync(3, 149).value_or("?"), "x");
+}
+
+TEST(HermesJoin, JoinViaLiveRmAgents)
+{
+    // Full path: RM proposeAddition decides the extended view through
+    // Paxos, the new node syncs, then serves linearizable reads.
+    ClusterConfig config = joinConfig(4, 3);
+    config.replica.enableRm = true;
+    config.replica.rmConfig.heartbeatInterval = 2_ms;
+    config.replica.rmConfig.failureTimeout = 30_ms;
+    config.replica.rmConfig.leaseDuration = 10_ms;
+    SimCluster cluster(config);
+    cluster.start();
+    cluster.runFor(5_ms);
+    for (Key key = 0; key < 50; ++key)
+        ASSERT_TRUE(cluster.writeSync(0, key, "pre-join"));
+
+    cluster.runtime().submit(0, 0, [&] {
+        cluster.replica(0).rm()->proposeAddition(3);
+    });
+    cluster.runFor(50_ms);
+    ASSERT_TRUE(cluster.replica(0).hermes()->view().isLive(3));
+
+    cluster.runtime().submit(3, 0, [&] {
+        cluster.replica(3).hermes()->startShadowSync(2);
+    });
+    cluster.runFor(100_ms);
+    EXPECT_FALSE(cluster.replica(3).hermes()->isShadow());
+    EXPECT_EQ(cluster.readSync(3, 7, 50_ms).value_or("?"), "pre-join");
+    // And the grown ensemble still commits writes (now needing 4 ACKs).
+    ASSERT_TRUE(cluster.writeSync(3, 1000, "from-the-new-node"));
+    EXPECT_EQ(cluster.readSync(0, 1000).value_or("?"), "from-the-new-node");
+}
+
+TEST(HermesJoin, WorkloadDuringJoinStaysLinearizable)
+{
+    ClusterConfig config = joinConfig(4, 3);
+    SimCluster cluster(config);
+    cluster.start();
+
+    app::DriverConfig driver_config;
+    driver_config.workload.numKeys = 16;
+    driver_config.workload.writeRatio = 0.4;
+    driver_config.sessionsPerNode = 3;
+    driver_config.warmup = 0;
+    driver_config.measure = 30_ms;
+    driver_config.recordHistory = true;
+    driver_config.quiesceAfter = 100_ms;
+
+    // Mid-run: extend the view and start the sync.
+    cluster.runtime().events().scheduleAt(10_ms, [&cluster] {
+        membership::MembershipView extended{2, {0, 1, 2, 3}};
+        for (NodeId n = 0; n < 4; ++n) {
+            cluster.runtime().submit(n, 0, [&cluster, n, extended] {
+                cluster.replica(n).injectView(extended);
+            });
+        }
+        cluster.runtime().submit(3, 0, [&cluster] {
+            cluster.replica(3).hermes()->startShadowSync(0);
+        });
+    });
+
+    app::LoadDriver driver(cluster, driver_config);
+    app::DriverResult result = driver.run();
+
+    EXPECT_FALSE(cluster.replica(3).hermes()->isShadow());
+    app::LinReport report = app::checkHistory(result.history);
+    EXPECT_TRUE(report.ok()) << report.detail;
+    for (Key key = 0; key < 16; ++key)
+        EXPECT_TRUE(cluster.converged(key)) << "key " << key;
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Hermes without loosely synchronized clocks (paper §8): reads execute
+ * speculatively and return only after a majority of replicas confirm the
+ * reader's membership epoch — linearizable reads with no RM lease.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/cluster.hh"
+#include "app/driver.hh"
+#include "app/lin_checker.hh"
+
+namespace hermes
+{
+namespace
+{
+
+using app::ClusterConfig;
+using app::Protocol;
+using app::SimCluster;
+
+ClusterConfig
+lscFreeConfig(size_t nodes)
+{
+    ClusterConfig config;
+    config.protocol = Protocol::Hermes;
+    config.nodes = nodes;
+    config.replica.hermesConfig.lscFreeReads = true;
+    return config;
+}
+
+TEST(HermesLscFree, ReadsStillReturnCorrectValues)
+{
+    SimCluster cluster(lscFreeConfig(3));
+    cluster.start();
+    ASSERT_TRUE(cluster.writeSync(0, 1, "v"));
+    for (NodeId n = 0; n < 3; ++n)
+        EXPECT_EQ(cluster.readSync(n, 1).value_or("?"), "v") << "node " << n;
+}
+
+TEST(HermesLscFree, ReadCostsHalfRoundTripExtra)
+{
+    // §8: LSC-free reads wait for a majority of epoch-check answers, so
+    // a lone read pays ~1 RTT where the leased read is local.
+    auto read_latency = [](bool lsc_free) {
+        ClusterConfig config;
+        config.protocol = Protocol::Hermes;
+        config.nodes = 3;
+        config.cost.netJitterNs = 0;
+        config.replica.hermesConfig.lscFreeReads = lsc_free;
+        SimCluster cluster(config);
+        cluster.start();
+        cluster.writeSync(0, 1, "v");
+        TimeNs start = cluster.now();
+        EXPECT_TRUE(cluster.readSync(1, 1).has_value());
+        return cluster.now() - start;
+    };
+    DurationNs leased = read_latency(false);
+    DurationNs lsc_free = read_latency(true);
+    EXPECT_GT(lsc_free, leased + 2 * 1000)
+        << "the probe round trip must be visible";
+}
+
+TEST(HermesLscFree, ProbesAreBatchedAcrossConcurrentReads)
+{
+    SimCluster cluster(lscFreeConfig(3));
+    cluster.start();
+    ASSERT_TRUE(cluster.writeSync(0, 1, "v"));
+    uint64_t sent_before = cluster.runtime().network().sentCount();
+    int completed = 0;
+    // 20 reads issued back-to-back: the first opens a probe; the rest
+    // ride the next one. Far fewer than 20 probe broadcasts result.
+    for (int i = 0; i < 20; ++i)
+        cluster.read(1, 1, [&](const Value &) { ++completed; });
+    cluster.runFor(5_ms);
+    EXPECT_EQ(completed, 20);
+    uint64_t messages = cluster.runtime().network().sentCount()
+                        - sent_before;
+    // <= 2 probes * (2 probe sends + 2 acks) = 8, plus slack.
+    EXPECT_LE(messages, 12u);
+}
+
+TEST(HermesLscFree, ProbeLossRecoveredByRetry)
+{
+    SimCluster cluster(lscFreeConfig(3));
+    cluster.start();
+    ASSERT_TRUE(cluster.writeSync(0, 1, "v"));
+    int dropped = 0;
+    cluster.runtime().network().setDropFilter(
+        [&dropped](NodeId, NodeId, const net::MessagePtr &msg) {
+            if (msg->type() == net::MsgType::HermesEpochCheck
+                    && dropped < 2) {
+                ++dropped;
+                return true;
+            }
+            return false;
+        });
+    auto value = cluster.readSync(1, 1, 50_ms);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "v");
+    EXPECT_EQ(dropped, 2);
+}
+
+TEST(HermesLscFree, MinorityPartitionedReaderCannotAnswer)
+{
+    // The §8 guarantee: a reader cut off from the majority cannot
+    // validate its speculative reads — it must NOT return (possibly
+    // stale) values, lease or no lease.
+    SimCluster cluster(lscFreeConfig(5));
+    cluster.start();
+    ASSERT_TRUE(cluster.writeSync(0, 1, "v"));
+    cluster.runFor(1_ms);
+    cluster.runtime().network().setPartition({0, 0, 0, 1, 1});
+    auto minority_read = cluster.readSync(4, 1, 20_ms);
+    EXPECT_FALSE(minority_read.has_value())
+        << "a minority-side LSC-free read must block";
+    // The majority side still answers.
+    auto majority_read = cluster.readSync(1, 1, 20_ms);
+    ASSERT_TRUE(majority_read.has_value());
+    EXPECT_EQ(*majority_read, "v");
+}
+
+TEST(HermesLscFree, SurvivesViewChangeMidProbe)
+{
+    ClusterConfig config = lscFreeConfig(5);
+    config.replica.enableRm = true;
+    config.replica.rmConfig.heartbeatInterval = 2_ms;
+    config.replica.rmConfig.failureTimeout = 20_ms;
+    config.replica.rmConfig.leaseDuration = 8_ms;
+    SimCluster cluster(config);
+    cluster.start();
+    cluster.runFor(5_ms);
+    ASSERT_TRUE(cluster.writeSync(0, 1, "v", 200_ms));
+    cluster.crash(4);
+    // Reads issued while the membership is reconfiguring still complete
+    // (the probe restarts under the new epoch).
+    auto value = cluster.readSync(1, 1, 500_ms);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "v");
+}
+
+TEST(HermesLscFree, WorkloadStaysLinearizable)
+{
+    ClusterConfig config = lscFreeConfig(3);
+    SimCluster cluster(config);
+    cluster.start();
+    app::DriverConfig driver_config;
+    driver_config.workload.numKeys = 8;
+    driver_config.workload.writeRatio = 0.4;
+    driver_config.workload.casRatio = 0.2;
+    driver_config.sessionsPerNode = 3;
+    driver_config.warmup = 0;
+    driver_config.measure = 20_ms;
+    driver_config.recordHistory = true;
+    driver_config.quiesceAfter = 100_ms;
+    app::LoadDriver driver(cluster, driver_config);
+    app::DriverResult result = driver.run();
+    ASSERT_GT(result.opsTotal, 100u);
+    app::LinReport report = app::checkHistory(result.history);
+    EXPECT_TRUE(report.ok()) << report.detail;
+    for (Key key = 0; key < 8; ++key)
+        EXPECT_TRUE(cluster.converged(key)) << "key " << key;
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * The Hermes per-key state machine, transition by transition (paper §3.2
+ * and Figure 3), driven through a mock environment that captures every
+ * message the replica emits — the executable form of the protocol's
+ * transition table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "hermes/replica.hh"
+
+namespace hermes::proto
+{
+namespace
+{
+
+/** Env capturing sends; timers are held and fired manually. */
+class MockEnv : public net::Env
+{
+  public:
+    explicit MockEnv(NodeId self) : self_(self), rng_(7) {}
+
+    NodeId self() const override { return self_; }
+    TimeNs now() const override { return now_; }
+
+    void
+    send(NodeId dst, net::MessagePtr msg) override
+    {
+        const_cast<net::Message &>(*msg).src = self_;
+        sent.emplace_back(dst, std::move(msg));
+    }
+
+    void
+    broadcast(const NodeSet &dsts, net::MessagePtr msg) override
+    {
+        const_cast<net::Message &>(*msg).src = self_;
+        for (NodeId dst : dsts)
+            if (dst != self_)
+                sent.emplace_back(dst, msg);
+    }
+
+    net::TimerId
+    setTimer(DurationNs, std::function<void()> fn) override
+    {
+        timers.push_back(std::move(fn));
+        return timers.size();
+    }
+
+    void cancelTimer(net::TimerId) override {}
+    Rng &rng() override { return rng_; }
+
+    /** Messages of @p type sent so far. */
+    size_t
+    countSent(net::MsgType type) const
+    {
+        size_t count = 0;
+        for (auto &[dst, msg] : sent)
+            count += msg->type() == type;
+        return count;
+    }
+
+    std::vector<std::pair<NodeId, net::MessagePtr>> sent;
+    std::vector<std::function<void()>> timers;
+    TimeNs now_ = 0;
+
+  private:
+    NodeId self_;
+    Rng rng_;
+};
+
+/** A 3-replica Hermes node 0 with direct message injection. */
+class TransitionTest : public ::testing::Test
+{
+  protected:
+    TransitionTest()
+        : store(1024, 64),
+          env(0),
+          replica(env, store, membership::initialView(3), HermesConfig{})
+    {}
+
+    void
+    injectInv(Key key, Timestamp ts, const Value &value, NodeId from,
+              bool rmw = false)
+    {
+        auto inv = std::make_shared<InvMsg>();
+        inv->src = from;
+        inv->epoch = 1;
+        inv->key = key;
+        inv->ts = ts;
+        inv->rmw = rmw;
+        inv->value = value;
+        replica.onMessage(inv);
+    }
+
+    void
+    injectAck(Key key, Timestamp ts, NodeId from)
+    {
+        auto ack = std::make_shared<AckMsg>();
+        ack->src = from;
+        ack->epoch = 1;
+        ack->key = key;
+        ack->ts = ts;
+        replica.onMessage(ack);
+    }
+
+    void
+    injectVal(Key key, Timestamp ts, NodeId from)
+    {
+        auto val = std::make_shared<ValMsg>();
+        val->src = from;
+        val->epoch = 1;
+        val->key = key;
+        val->ts = ts;
+        replica.onMessage(val);
+    }
+
+    store::KvStore store;
+    MockEnv env;
+    HermesReplica replica;
+};
+
+TEST_F(TransitionTest, FInvHigherTsInvalidatesAndAdopts)
+{
+    injectInv(1, {4, 2}, "newer", 2);
+    EXPECT_EQ(replica.keyState(1), KeyState::Invalid);
+    EXPECT_EQ(replica.keyTimestamp(1), (Timestamp{4, 2}));
+    // FACK: acknowledged with the INV's timestamp, to its coordinator.
+    ASSERT_EQ(env.countSent(net::MsgType::HermesAck), 1u);
+    auto &[dst, msg] = env.sent.back();
+    EXPECT_EQ(dst, 2u);
+    EXPECT_EQ(static_cast<const AckMsg &>(*msg).ts, (Timestamp{4, 2}));
+}
+
+TEST_F(TransitionTest, FInvLowerTsAcksWithoutAdopting)
+{
+    injectInv(1, {4, 2}, "newer", 2);
+    env.sent.clear();
+    injectInv(1, {2, 1}, "older", 1);
+    EXPECT_EQ(replica.keyTimestamp(1), (Timestamp{4, 2})) << "no regression";
+    EXPECT_EQ(env.countSent(net::MsgType::HermesAck), 1u)
+        << "writes are ACKed irrespective of the comparison (FACK)";
+}
+
+TEST_F(TransitionTest, FInvEqualTsIsIdempotent)
+{
+    injectInv(1, {4, 2}, "v", 2);
+    env.sent.clear();
+    injectInv(1, {4, 2}, "v", 2); // duplicate delivery
+    EXPECT_EQ(replica.keyState(1), KeyState::Invalid);
+    EXPECT_EQ(env.countSent(net::MsgType::HermesAck), 1u) << "re-ACKed";
+}
+
+TEST_F(TransitionTest, FValMatchingTsValidates)
+{
+    injectInv(1, {4, 2}, "v", 2);
+    injectVal(1, {4, 2}, 2);
+    EXPECT_EQ(replica.keyState(1), KeyState::Valid);
+}
+
+TEST_F(TransitionTest, FValStaleTsIgnored)
+{
+    injectInv(1, {4, 2}, "v", 2);
+    injectVal(1, {2, 1}, 1); // VAL of an older superseded write
+    EXPECT_EQ(replica.keyState(1), KeyState::Invalid);
+}
+
+TEST_F(TransitionTest, CoordinatorWriteBroadcastsInvWithVersionPlusTwo)
+{
+    replica.write(1, "mine", nullptr);
+    EXPECT_EQ(replica.keyState(1), KeyState::Write);
+    EXPECT_EQ(replica.keyTimestamp(1), (Timestamp{2, 0})); // CTS: +2, cid 0
+    EXPECT_EQ(env.countSent(net::MsgType::HermesInv), 2u); // both followers
+}
+
+TEST_F(TransitionTest, CoordinatorCommitsOnAllAcksAndValidates)
+{
+    bool committed = false;
+    replica.write(1, "mine", [&] { committed = true; });
+    injectAck(1, {2, 0}, 1);
+    EXPECT_FALSE(committed) << "one ACK of two is not enough";
+    injectAck(1, {2, 0}, 2);
+    EXPECT_TRUE(committed);
+    EXPECT_EQ(replica.keyState(1), KeyState::Valid);
+    EXPECT_EQ(env.countSent(net::MsgType::HermesVal), 2u);
+}
+
+TEST_F(TransitionTest, StaleAckOfSupersededRoundIgnored)
+{
+    replica.write(1, "mine", nullptr);
+    injectAck(1, {1, 9}, 1); // ACK of some other timestamp
+    injectAck(1, {2, 0}, 1);
+    EXPECT_EQ(replica.pendingUpdates(), 1u) << "still missing node 2";
+}
+
+TEST_F(TransitionTest, DuplicateAckDoesNotCommit)
+{
+    bool committed = false;
+    replica.write(1, "mine", [&] { committed = true; });
+    injectAck(1, {2, 0}, 1);
+    injectAck(1, {2, 0}, 1); // duplicated delivery
+    EXPECT_FALSE(committed) << "node 2 never ACKed";
+}
+
+TEST_F(TransitionTest, OwnWriteInvalidatedMovesToTransThenInvalid)
+{
+    replica.write(1, "mine", nullptr);
+    // A concurrent higher-timestamped write invalidates our coordinator.
+    injectInv(1, {2, 2}, "theirs", 2);
+    EXPECT_EQ(replica.keyState(1), KeyState::Trans);
+    // Our ACKs complete: CACK with Trans -> Invalid (await winner's VAL).
+    injectAck(1, {2, 0}, 1);
+    injectAck(1, {2, 0}, 2);
+    EXPECT_EQ(replica.keyState(1), KeyState::Invalid);
+    // O1 (default on): the conflicted commit skips its VAL broadcast.
+    EXPECT_EQ(env.countSent(net::MsgType::HermesVal), 0u);
+    EXPECT_EQ(replica.stats().valsSkipped, 1u);
+    // The winner's VAL finally validates.
+    injectVal(1, {2, 2}, 2);
+    EXPECT_EQ(replica.keyState(1), KeyState::Valid);
+}
+
+TEST_F(TransitionTest, ConflictedWriteStillCommitsToClient)
+{
+    bool committed = false;
+    replica.write(1, "mine", [&] { committed = true; });
+    injectInv(1, {2, 2}, "theirs", 2);
+    injectAck(1, {2, 0}, 1);
+    injectAck(1, {2, 0}, 2);
+    EXPECT_TRUE(committed)
+        << "the superseded write is linearized before the winner (§3.5)";
+}
+
+TEST_F(TransitionTest, RmwUsesVersionPlusOne)
+{
+    replica.cas(1, "", "locked", nullptr);
+    EXPECT_EQ(replica.keyTimestamp(1), (Timestamp{1, 0})); // CTS: +1
+}
+
+TEST_F(TransitionTest, FRmwAckLowerTsSendsRejectionInv)
+{
+    // Local key at ts {4,2}; an RMW INV with a lower timestamp arrives.
+    injectInv(1, {4, 2}, "current", 2);
+    env.sent.clear();
+    injectInv(1, {3, 1}, "rmw-val", 1, /*rmw=*/true);
+    EXPECT_EQ(env.countSent(net::MsgType::HermesAck), 0u);
+    ASSERT_EQ(env.countSent(net::MsgType::HermesInv), 1u)
+        << "FRMW-ACK: rejection is an INV of the local (higher) state";
+    auto &rejection = static_cast<const InvMsg &>(*env.sent.back().second);
+    EXPECT_EQ(rejection.ts, (Timestamp{4, 2}));
+    EXPECT_EQ(rejection.value, "current");
+}
+
+TEST_F(TransitionTest, FRmwAckEqualOrHigherTsAcks)
+{
+    injectInv(1, {3, 1}, "rmw", 1, /*rmw=*/true);
+    EXPECT_EQ(env.countSent(net::MsgType::HermesAck), 1u);
+    EXPECT_EQ(replica.keyState(1), KeyState::Invalid);
+    EXPECT_EQ(replica.keyTimestamp(1), (Timestamp{3, 1}));
+}
+
+TEST_F(TransitionTest, CRmwAbortOnHigherInv)
+{
+    bool done = false, applied = false;
+    replica.cas(1, "", "rmw", [&](bool ok, const Value &) {
+        done = true;
+        applied = ok;
+    });
+    EXPECT_EQ(replica.pendingUpdates(), 1u);
+    // A racing write (always higher ts, §3.6) invalidates and aborts it.
+    injectInv(1, {2, 2}, "the-write", 2);
+    EXPECT_EQ(replica.stats().rmwsAborted, 1u);
+    // The CAS retries internally: it is stalled until the winner's VAL,
+    // then re-checks expected ("" != "the-write") and reports failure.
+    injectVal(1, {2, 2}, 2);
+    EXPECT_TRUE(done);
+    EXPECT_FALSE(applied);
+}
+
+TEST_F(TransitionTest, ReadStallsOnInvalidAndDrainsOnVal)
+{
+    injectInv(1, {4, 2}, "v", 2);
+    Value seen;
+    bool done = false;
+    replica.read(1, [&](const Value &v) {
+        seen = v;
+        done = true;
+    });
+    EXPECT_FALSE(done);
+    EXPECT_EQ(replica.stalledRequests(), 1u);
+    injectVal(1, {4, 2}, 2);
+    EXPECT_TRUE(done);
+    EXPECT_EQ(seen, "v");
+}
+
+TEST_F(TransitionTest, EpochMismatchDropsMessage)
+{
+    auto inv = std::make_shared<InvMsg>();
+    inv->src = 2;
+    inv->epoch = 9; // not our epoch (1)
+    inv->key = 1;
+    inv->ts = {4, 2};
+    inv->value = "stale";
+    replica.onMessage(inv);
+    EXPECT_EQ(replica.keyTimestamp(1), Timestamp{});
+    EXPECT_EQ(replica.stats().staleEpochDropped, 1u);
+    EXPECT_EQ(env.sent.size(), 0u);
+}
+
+TEST_F(TransitionTest, ViewChangePrunesDeadAckAndCommits)
+{
+    bool committed = false;
+    replica.write(1, "mine", [&] { committed = true; });
+    injectAck(1, {2, 0}, 1);
+    EXPECT_FALSE(committed);
+    // Node 2 is removed by an m-update: the write must complete.
+    replica.onViewChange(membership::MembershipView{2, {0, 1}});
+    EXPECT_TRUE(committed);
+    EXPECT_EQ(replica.keyState(1), KeyState::Valid);
+}
+
+TEST_F(TransitionTest, RemovalFromViewHaltsNode)
+{
+    replica.onViewChange(membership::MembershipView{2, {1, 2}});
+    EXPECT_TRUE(replica.halted());
+    bool served = false;
+    replica.read(1, [&](const Value &) { served = true; });
+    EXPECT_FALSE(served) << "a removed node must stop serving";
+}
+
+} // namespace
+} // namespace hermes::proto

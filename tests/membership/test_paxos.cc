@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Single-decree Paxos state machines: the safety core of reliable
+ * membership updates, including the dueling-proposer and value-adoption
+ * corner cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "membership/paxos.hh"
+
+namespace hermes::membership
+{
+namespace
+{
+
+MembershipView
+view(Epoch epoch, NodeSet live)
+{
+    return MembershipView{epoch, std::move(live)};
+}
+
+TEST(Ballot, Ordering)
+{
+    EXPECT_LT((Ballot{1, 2}), (Ballot{2, 0}));
+    EXPECT_LT((Ballot{2, 1}), (Ballot{2, 2}));
+    EXPECT_EQ((Ballot{2, 2}), (Ballot{2, 2}));
+    EXPECT_FALSE(Ballot{}.valid());
+    EXPECT_TRUE((Ballot{0, 1}).valid());
+}
+
+TEST(PaxosAcceptor, PromisesHighestBallot)
+{
+    PaxosAcceptor acceptor;
+    auto r1 = acceptor.onPrepare({1, 0});
+    EXPECT_TRUE(r1.ok);
+    auto r2 = acceptor.onPrepare({2, 1});
+    EXPECT_TRUE(r2.ok);
+    auto r3 = acceptor.onPrepare({1, 5}); // lower than promised {2,1}
+    EXPECT_FALSE(r3.ok);
+    EXPECT_EQ(r3.promised, (Ballot{2, 1}));
+}
+
+TEST(PaxosAcceptor, AcceptRespectingPromise)
+{
+    PaxosAcceptor acceptor;
+    acceptor.onPrepare({3, 0});
+    auto reject = acceptor.onAccept({2, 9}, view(2, {0, 1}));
+    EXPECT_FALSE(reject.ok);
+    auto accept = acceptor.onAccept({3, 0}, view(2, {0, 1}));
+    EXPECT_TRUE(accept.ok);
+    ASSERT_TRUE(acceptor.accepted().has_value());
+    EXPECT_EQ(acceptor.accepted()->live, (NodeSet{0, 1}));
+}
+
+TEST(PaxosAcceptor, PromiseRevealsAcceptedValue)
+{
+    PaxosAcceptor acceptor;
+    acceptor.onPrepare({1, 0});
+    acceptor.onAccept({1, 0}, view(2, {0, 2}));
+    auto reply = acceptor.onPrepare({5, 1});
+    EXPECT_TRUE(reply.ok);
+    ASSERT_TRUE(reply.acceptedBallot.has_value());
+    EXPECT_EQ(*reply.acceptedBallot, (Ballot{1, 0}));
+    ASSERT_TRUE(reply.acceptedValue.has_value());
+    EXPECT_EQ(reply.acceptedValue->live, (NodeSet{0, 2}));
+}
+
+TEST(PaxosProposer, DecidesWithMajority)
+{
+    PaxosProposer proposer(0, 2); // quorum 2 of 3
+    PaxosAcceptor a0, a1, a2;
+    Ballot b = proposer.startRound(view(2, {0, 1}));
+
+    auto v0 = proposer.onPrepareReply(0, a0.onPrepare(b));
+    EXPECT_FALSE(v0.has_value());
+    auto v1 = proposer.onPrepareReply(1, a1.onPrepare(b));
+    ASSERT_TRUE(v1.has_value()); // majority of promises -> accept phase
+    EXPECT_EQ(v1->live, (NodeSet{0, 1}));
+
+    auto d0 = proposer.onAcceptReply(0, a0.onAccept(b, *v1));
+    EXPECT_FALSE(d0.has_value());
+    auto d1 = proposer.onAcceptReply(1, a1.onAccept(b, *v1));
+    ASSERT_TRUE(d1.has_value());
+    EXPECT_EQ(d1->live, (NodeSet{0, 1}));
+}
+
+TEST(PaxosProposer, DuplicateRepliesDoNotDoubleCount)
+{
+    PaxosProposer proposer(0, 2);
+    PaxosAcceptor a0;
+    Ballot b = proposer.startRound(view(2, {0}));
+    auto reply = a0.onPrepare(b);
+    EXPECT_FALSE(proposer.onPrepareReply(0, reply).has_value());
+    EXPECT_FALSE(proposer.onPrepareReply(0, reply).has_value());
+}
+
+TEST(PaxosProposer, AdoptsHighestAcceptedValue)
+{
+    // Acceptor 1 already accepted {epoch 2, {0,1,2}} at ballot {1,1}; a new
+    // proposer pushing {epoch 2, {0,1}} MUST adopt the accepted value.
+    PaxosProposer proposer(1, 2);
+    PaxosAcceptor fresh, loaded;
+    loaded.onPrepare({1, 0});
+    loaded.onAccept({1, 0}, view(2, {0, 1, 2}));
+
+    Ballot b = proposer.startRound(view(2, {0, 1}));
+    ASSERT_GT(b, (Ballot{1, 0})); // {1,1} out-ballots the earlier {1,0}
+    proposer.onPrepareReply(0, fresh.onPrepare(b));
+    auto value = proposer.onPrepareReply(1, loaded.onPrepare(b));
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(value->live, (NodeSet{0, 1, 2})) << "value adoption violated";
+}
+
+TEST(PaxosProposer, EscalatesPastCompetingBallot)
+{
+    PaxosProposer proposer(0, 2);
+    PaxosAcceptor acceptor;
+    acceptor.onPrepare({10, 1}); // a competitor got there first
+
+    Ballot b1 = proposer.startRound(view(2, {0, 1}));
+    auto reply = acceptor.onPrepare(b1);
+    EXPECT_FALSE(reply.ok);
+    proposer.onPrepareReply(1, reply);
+    EXPECT_TRUE(proposer.sawHigherBallot());
+
+    Ballot b2 = proposer.startRound(view(2, {0, 1}));
+    EXPECT_GT(b2, (Ballot{10, 1}));
+    EXPECT_TRUE(acceptor.onPrepare(b2).ok);
+}
+
+TEST(PaxosProposer, TwoProposersNeverDecideDifferently)
+{
+    // Classic duel: P0 completes phase 1, P1 overtakes, both push values;
+    // whatever decides must be a single value.
+    PaxosAcceptor acceptors[3];
+    PaxosProposer p0(0, 2), p1(1, 2);
+
+    Ballot b0 = p0.startRound(view(2, {0, 1}));
+    p0.onPrepareReply(0, acceptors[0].onPrepare(b0));
+    auto v0 = p0.onPrepareReply(1, acceptors[1].onPrepare(b0));
+    ASSERT_TRUE(v0.has_value());
+
+    // P1 overtakes with a higher ballot on a majority including acceptor 1.
+    p1.startRound(view(2, {1, 2}));
+    Ballot b1 = p1.startRound(view(2, {1, 2}));
+    ASSERT_GT(b1, b0);
+    p1.onPrepareReply(1, acceptors[1].onPrepare(b1));
+    auto v1 = p1.onPrepareReply(2, acceptors[2].onPrepare(b1));
+    ASSERT_TRUE(v1.has_value());
+
+    // P0's accepts now fail on acceptor 1 (promised b1).
+    auto d0a = p0.onAcceptReply(0, acceptors[0].onAccept(b0, *v0));
+    auto d0b = p0.onAcceptReply(1, acceptors[1].onAccept(b0, *v0));
+    EXPECT_FALSE(d0a.has_value());
+    EXPECT_FALSE(d0b.has_value());
+
+    // P1 decides; if P0's value had sneaked onto acceptor 0, P1 must have
+    // adopted it — either way there is exactly one decided value.
+    auto d1a = p1.onAcceptReply(1, acceptors[1].onAccept(b1, *v1));
+    auto d1b = p1.onAcceptReply(2, acceptors[2].onAccept(b1, *v1));
+    EXPECT_TRUE(d1a.has_value() || d1b.has_value());
+}
+
+} // namespace
+} // namespace hermes::membership

@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Reliable membership end-to-end on the simulator: heartbeats, leases,
+ * failure detection, lease-guarded m-updates, partition behaviour
+ * (paper §2.4, §3.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "membership/rm_node.hh"
+#include "sim/runtime.hh"
+
+namespace hermes::membership
+{
+namespace
+{
+
+/** Adapter running one RmNode as a simulated replica. */
+class RmHost : public net::Node
+{
+  public:
+    RmHost(net::Env &env, MembershipView initial, RmConfig config)
+        : rm(env, std::move(initial), config)
+    {}
+
+    void start() override { rm.start(); }
+
+    void
+    onMessage(const net::MessagePtr &msg) override
+    {
+        rm.onMessage(msg);
+    }
+
+    RmNode rm;
+};
+
+class RmTest : public ::testing::Test
+{
+  protected:
+    void
+    build(size_t nodes, RmConfig config = fastConfig())
+    {
+        rt = std::make_unique<sim::SimRuntime>(nodes, sim::CostModel{}, 7);
+        MembershipView initial = initialView(nodes);
+        for (size_t i = 0; i < nodes; ++i) {
+            hosts.push_back(std::make_unique<RmHost>(
+                rt->env(static_cast<NodeId>(i)), initial, config));
+            rt->attach(static_cast<NodeId>(i), hosts[i].get());
+        }
+        rt->start();
+    }
+
+    static RmConfig
+    fastConfig()
+    {
+        RmConfig config;
+        config.heartbeatInterval = 2_ms;
+        config.failureTimeout = 20_ms;
+        config.leaseDuration = 8_ms;
+        config.proposalRetry = 5_ms;
+        return config;
+    }
+
+    std::unique_ptr<sim::SimRuntime> rt;
+    std::vector<std::unique_ptr<RmHost>> hosts;
+};
+
+TEST_F(RmTest, StableClusterKeepsEpochAndLeases)
+{
+    build(5);
+    rt->runFor(200_ms);
+    for (auto &host : hosts) {
+        EXPECT_EQ(host->rm.view().epoch, 1u);
+        EXPECT_EQ(host->rm.view().live.size(), 5u);
+        EXPECT_TRUE(host->rm.leaseValid());
+        EXPECT_TRUE(host->rm.operational());
+        EXPECT_FALSE(host->rm.hasSuspects());
+    }
+}
+
+TEST_F(RmTest, CrashTriggersReconfiguration)
+{
+    build(5);
+    rt->runFor(20_ms);
+    rt->crash(3);
+    rt->runFor(200_ms);
+    for (size_t i = 0; i < hosts.size(); ++i) {
+        if (i == 3)
+            continue;
+        EXPECT_GE(hosts[i]->rm.view().epoch, 2u) << "node " << i;
+        EXPECT_EQ(hosts[i]->rm.view().live.size(), 4u) << "node " << i;
+        EXPECT_FALSE(hosts[i]->rm.view().isLive(3)) << "node " << i;
+        EXPECT_TRUE(hosts[i]->rm.operational()) << "node " << i;
+    }
+}
+
+TEST_F(RmTest, ReconfigurationWaitsForFailureTimeoutAndLease)
+{
+    build(3);
+    rt->runFor(10_ms);
+    rt->crash(2);
+    // Before the failure timeout nothing may change.
+    rt->runFor(10_ms);
+    EXPECT_EQ(hosts[0]->rm.view().epoch, 1u);
+    // After timeout + lease wait + a Paxos round it must have changed.
+    rt->runFor(100_ms);
+    EXPECT_GE(hosts[0]->rm.view().epoch, 2u);
+    EXPECT_EQ(hosts[0]->rm.view().live, (NodeSet{0, 1}));
+}
+
+TEST_F(RmTest, SequentialFailuresShrinkViewRepeatedly)
+{
+    build(5);
+    rt->runFor(10_ms);
+    rt->crash(4);
+    rt->runFor(150_ms);
+    EXPECT_EQ(hosts[0]->rm.view().live.size(), 4u);
+    rt->crash(3);
+    rt->runFor(150_ms);
+    EXPECT_EQ(hosts[0]->rm.view().live.size(), 3u);
+    EXPECT_EQ(hosts[0]->rm.view().live, (NodeSet{0, 1, 2}));
+    EXPECT_EQ(hosts[0]->rm.view().epoch, hosts[1]->rm.view().epoch);
+}
+
+TEST_F(RmTest, MinorityPartitionLosesLeaseAndCannotReconfigure)
+{
+    build(5);
+    rt->runFor(10_ms);
+    // Nodes {3,4} split from the majority {0,1,2}.
+    rt->network().setPartition({0, 0, 0, 1, 1});
+    rt->runFor(300_ms);
+
+    // Majority side reconfigured to {0,1,2} and stays operational.
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(hosts[i]->rm.view().live, (NodeSet{0, 1, 2}))
+            << "node " << i;
+        EXPECT_TRUE(hosts[i]->rm.operational()) << "node " << i;
+    }
+    // Minority side cannot renew its lease: it must stop serving. Its
+    // view may still be the old epoch (it cannot decide an m-update).
+    for (int i = 3; i < 5; ++i) {
+        EXPECT_FALSE(hosts[i]->rm.operational()) << "node " << i;
+        EXPECT_EQ(hosts[i]->rm.view().live.size(), 5u) << "node " << i;
+    }
+}
+
+TEST_F(RmTest, ViewChangeCallbackFires)
+{
+    build(3);
+    int calls = 0;
+    MembershipView seen;
+    hosts[0]->rm.onViewChange([&](const MembershipView &view) {
+        ++calls;
+        seen = view;
+    });
+    rt->runFor(10_ms);
+    rt->crash(1);
+    rt->runFor(150_ms);
+    EXPECT_GE(calls, 1);
+    EXPECT_FALSE(seen.isLive(1));
+}
+
+TEST_F(RmTest, AdditionExtendsView)
+{
+    // Start a 4-node cluster whose initial view only covers {0,1,2}; node
+    // 3 is a fresh shadow replica being added (§3.4 Recovery).
+    rt = std::make_unique<sim::SimRuntime>(4, sim::CostModel{}, 7);
+    MembershipView initial{1, {0, 1, 2}};
+    for (size_t i = 0; i < 4; ++i) {
+        hosts.push_back(std::make_unique<RmHost>(
+            rt->env(static_cast<NodeId>(i)), initial, fastConfig()));
+        rt->attach(static_cast<NodeId>(i), hosts[i].get());
+    }
+    rt->start();
+    rt->runFor(10_ms);
+
+    rt->submit(0, 0, [&] { hosts[0]->rm.proposeAddition(3); });
+    rt->runFor(100_ms);
+    EXPECT_EQ(hosts[0]->rm.view().live, (NodeSet{0, 1, 2, 3}));
+    EXPECT_EQ(hosts[3]->rm.view().live, (NodeSet{0, 1, 2, 3}));
+    EXPECT_GE(hosts[0]->rm.view().epoch, 2u);
+}
+
+TEST_F(RmTest, MessageLossToleratedByRetry)
+{
+    build(3);
+    rt->network().setLossProbability(0.2);
+    rt->runFor(20_ms);
+    rt->crash(2);
+    rt->runFor(500_ms);
+    EXPECT_EQ(hosts[0]->rm.view().live, (NodeSet{0, 1}));
+    EXPECT_EQ(hosts[1]->rm.view().live, (NodeSet{0, 1}));
+}
+
+TEST_F(RmTest, EpochsAgreeAfterConcurrentSuspicion)
+{
+    // All survivors suspect simultaneously; Paxos must still produce one
+    // agreed view (dueling proposers are safe).
+    build(5);
+    rt->runFor(10_ms);
+    rt->crash(0); // the designated-proposer role must move past node 0
+    rt->runFor(300_ms);
+    Epoch epoch = hosts[1]->rm.view().epoch;
+    for (int i = 1; i < 5; ++i) {
+        EXPECT_EQ(hosts[i]->rm.view().epoch, epoch) << "node " << i;
+        EXPECT_EQ(hosts[i]->rm.view().live, (NodeSet{1, 2, 3, 4}))
+            << "node " << i;
+    }
+}
+
+} // namespace
+} // namespace hermes::membership

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * MembershipView helpers: quorum math and view surgery used by every
+ * membership-based protocol here.
+ */
+
+#include <gtest/gtest.h>
+
+#include "membership/view.hh"
+
+namespace hermes::membership
+{
+namespace
+{
+
+TEST(MembershipView, InitialViewCoversAllNodes)
+{
+    MembershipView view = initialView(5);
+    EXPECT_EQ(view.epoch, 1u);
+    EXPECT_EQ(view.live, (NodeSet{0, 1, 2, 3, 4}));
+    for (NodeId n = 0; n < 5; ++n)
+        EXPECT_TRUE(view.isLive(n));
+    EXPECT_FALSE(view.isLive(5));
+}
+
+TEST(MembershipView, QuorumIsMajority)
+{
+    EXPECT_EQ(initialView(1).quorum(), 1u);
+    EXPECT_EQ(initialView(2).quorum(), 2u);
+    EXPECT_EQ(initialView(3).quorum(), 2u);
+    EXPECT_EQ(initialView(4).quorum(), 3u);
+    EXPECT_EQ(initialView(5).quorum(), 3u);
+    EXPECT_EQ(initialView(7).quorum(), 4u);
+}
+
+TEST(MembershipView, WithoutRemovesAndBumpsEpoch)
+{
+    MembershipView view = initialView(5);
+    MembershipView next = view.without(2);
+    EXPECT_EQ(next.epoch, 2u);
+    EXPECT_EQ(next.live, (NodeSet{0, 1, 3, 4}));
+    EXPECT_EQ(view.live.size(), 5u) << "original untouched";
+    // Removing an absent node still bumps the epoch (m-update semantics).
+    MembershipView again = next.without(2);
+    EXPECT_EQ(again.epoch, 3u);
+    EXPECT_EQ(again.live, next.live);
+}
+
+TEST(MembershipView, WithAddedKeepsSorted)
+{
+    MembershipView view{3, {0, 2, 4}};
+    MembershipView next = view.withAdded(1);
+    EXPECT_EQ(next.epoch, 4u);
+    EXPECT_EQ(next.live, (NodeSet{0, 1, 2, 4}));
+    // Adding an existing member only bumps the epoch.
+    MembershipView same = next.withAdded(2);
+    EXPECT_EQ(same.live, next.live);
+    EXPECT_EQ(same.epoch, 5u);
+}
+
+TEST(MembershipView, EqualityIsStructural)
+{
+    MembershipView a{2, {0, 1}};
+    MembershipView b{2, {0, 1}};
+    MembershipView c{3, {0, 1}};
+    MembershipView d{2, {0, 2}};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(a, d);
+}
+
+TEST(MembershipView, ToStringReadable)
+{
+    MembershipView view{7, {1, 3}};
+    EXPECT_EQ(view.toString(), "e7{1,3}");
+}
+
+} // namespace
+} // namespace hermes::membership

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The TCP backend end-to-end: the same protocol engines the simulator
+ * runs, on real sockets with Wings batching and credits — replica-to-
+ * replica traffic, external clients, Hermes and CRAQ deployments, and a
+ * node kill (which manifests as message loss the protocols absorb).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "app/tcp_service.hh"
+
+namespace hermes
+{
+namespace
+{
+
+using app::KvClient;
+using app::Protocol;
+using app::ReplicaOptions;
+using app::TcpKvService;
+
+uint16_t
+freeBasePort(uint16_t lane)
+{
+    // Spread test cases across the ephemeral range to avoid rebind races.
+    return 21000 + lane * 16;
+}
+
+ReplicaOptions
+tcpOptions()
+{
+    ReplicaOptions options;
+    options.storeCapacity = 1 << 12;
+    options.maxValueSize = 256;
+    options.hermesConfig.mlt = 50_ms; // wall-clock timers
+    return options;
+}
+
+TEST(TcpCluster, HermesWriteReadAcrossReplicas)
+{
+    net::TcpConfig config;
+    config.basePort = freeBasePort(0);
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config);
+    service.start();
+
+    KvClient writer(service.portOf(0));
+    ASSERT_TRUE(writer.connected());
+    ASSERT_TRUE(writer.write(1, "over-tcp"));
+
+    KvClient reader(service.portOf(2));
+    ASSERT_TRUE(reader.connected());
+    auto value = reader.read(1);
+    ASSERT_TRUE(value.has_value());
+    EXPECT_EQ(*value, "over-tcp");
+}
+
+TEST(TcpCluster, HermesCasOverTcp)
+{
+    net::TcpConfig config;
+    config.basePort = freeBasePort(1);
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config);
+    service.start();
+
+    KvClient client(service.portOf(1));
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.cas(5, "", "lock-holder"), std::optional<bool>(true));
+    EXPECT_EQ(client.cas(5, "", "thief"), std::optional<bool>(false));
+    EXPECT_EQ(client.read(5).value_or("?"), "lock-holder");
+}
+
+TEST(TcpCluster, ManySequentialOpsBatchAndFlow)
+{
+    net::TcpConfig config;
+    config.basePort = freeBasePort(2);
+    config.creditsPerLink = 16; // force credit recycling
+    config.creditReturnBatch = 4;
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config);
+    service.start();
+
+    KvClient client(service.portOf(0));
+    ASSERT_TRUE(client.connected());
+    for (int i = 0; i < 200; ++i)
+        ASSERT_TRUE(client.write(i % 10, "v" + std::to_string(i)))
+            << "write " << i;
+    KvClient reader(service.portOf(1));
+    EXPECT_EQ(reader.read(9).value_or("?"), "v199");
+}
+
+TEST(TcpCluster, ConcurrentClientsOnDifferentReplicas)
+{
+    net::TcpConfig config;
+    config.basePort = freeBasePort(3);
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config);
+    service.start();
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 3; ++t) {
+        clients.emplace_back([&service, &failures, t] {
+            KvClient client(service.portOf(t));
+            for (int i = 0; i < 50; ++i) {
+                Key key = 100 + t; // distinct key per client
+                if (!client.write(key, "c" + std::to_string(t) + "i"
+                                  + std::to_string(i))) {
+                    ++failures;
+                }
+            }
+        });
+    }
+    for (auto &c : clients)
+        c.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    KvClient reader(service.portOf(0));
+    for (int t = 0; t < 3; ++t) {
+        EXPECT_EQ(reader.read(100 + t).value_or("?"),
+                  "c" + std::to_string(t) + "i49");
+    }
+}
+
+TEST(TcpCluster, CraqOverTcp)
+{
+    net::TcpConfig config;
+    config.basePort = freeBasePort(4);
+    TcpKvService service(Protocol::Craq, 3, tcpOptions(), config);
+    service.start();
+
+    KvClient client(service.portOf(1)); // non-head replica
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.write(7, "chain"));
+    KvClient reader(service.portOf(2));
+    EXPECT_EQ(reader.read(7).value_or("?"), "chain");
+}
+
+TEST(TcpCluster, ZabOverTcp)
+{
+    net::TcpConfig config;
+    config.basePort = freeBasePort(5);
+    TcpKvService service(Protocol::Zab, 3, tcpOptions(), config);
+    service.start();
+
+    KvClient client(service.portOf(2)); // follower forwards to leader
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.write(3, "zab"));
+    // SC reads: the origin replica applied it before replying.
+    EXPECT_EQ(client.read(3).value_or("?"), "zab");
+}
+
+TEST(TcpCluster, SurvivesFollowerKill)
+{
+    // Kill a follower: Hermes writes block on its ACK until the view is
+    // updated — here we inject the m-update by hand (no RM agent in this
+    // deployment), mirroring an external membership service.
+    net::TcpConfig config;
+    config.basePort = freeBasePort(6);
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config);
+    service.start();
+
+    KvClient client(service.portOf(0));
+    ASSERT_TRUE(client.write(1, "before"));
+
+    service.crash(2);
+    membership::MembershipView after{2, {0, 1}};
+    service.cluster().runOn(0, [&] { service.replica(0).injectView(after); });
+    service.cluster().runOn(1, [&] { service.replica(1).injectView(after); });
+
+    ASSERT_TRUE(client.write(1, "after-kill"));
+    KvClient reader(service.portOf(1));
+    EXPECT_EQ(reader.read(1).value_or("?"), "after-kill");
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Cost model arithmetic: the send/receive/broadcast accounting every
+ * benchmark's resource contention rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hh"
+
+namespace hermes::sim
+{
+namespace
+{
+
+TEST(CostModel, RecvScalesWithBytes)
+{
+    CostModel cost;
+    EXPECT_EQ(cost.recvCost(0), cost.recvBaseNs);
+    EXPECT_GT(cost.recvCost(1024), cost.recvCost(32));
+    EXPECT_EQ(cost.recvCost(1000),
+              cost.recvBaseNs
+                  + static_cast<DurationNs>(cost.recvPerByteNs * 1000));
+}
+
+TEST(CostModel, SendScalesWithBytes)
+{
+    CostModel cost;
+    EXPECT_EQ(cost.sendCost(0), cost.sendBaseNs);
+    EXPECT_GT(cost.sendCost(1 << 20), cost.sendCost(64));
+}
+
+TEST(CostModel, BroadcastCheaperThanIndependentSends)
+{
+    // Wings doorbell batching: a fanout-4 broadcast must cost less than
+    // four posted sends but more than one.
+    CostModel cost;
+    DurationNs broadcast = cost.broadcastCost(64, 4);
+    EXPECT_LT(broadcast, 4 * cost.sendCost(64));
+    EXPECT_GT(broadcast, cost.sendCost(64));
+}
+
+TEST(CostModel, BroadcastOfOneEqualsSend)
+{
+    CostModel cost;
+    EXPECT_EQ(cost.broadcastCost(64, 1), cost.sendCost(64));
+    EXPECT_EQ(cost.broadcastCost(64, 0), 0u);
+}
+
+TEST(CostModel, MulticastOffloadFlattensFanout)
+{
+    CostModel cost;
+    cost.multicastOffload = true;
+    EXPECT_EQ(cost.broadcastCost(64, 6), cost.sendCost(64));
+}
+
+TEST(CostModel, NetDelayIncludesTransmissionTime)
+{
+    CostModel cost;
+    cost.netJitterNs = 0;
+    Rng rng(1);
+    DurationNs small = cost.netDelay(rng, 32);
+    DurationNs large = cost.netDelay(rng, 64 * 1024);
+    EXPECT_GE(small, cost.netBaseNs);
+    EXPECT_GT(large, small + 5000); // 64KB at ~0.15ns/B ~ 10us
+}
+
+TEST(CostModel, JitterIsNonNegativeAndVaries)
+{
+    CostModel cost;
+    Rng rng(2);
+    DurationNs min_seen = ~DurationNs{0};
+    DurationNs max_seen = 0;
+    for (int i = 0; i < 1000; ++i) {
+        DurationNs delay = cost.netDelay(rng, 0);
+        min_seen = std::min(min_seen, delay);
+        max_seen = std::max(max_seen, delay);
+    }
+    EXPECT_GE(min_seen, cost.netBaseNs);
+    EXPECT_GT(max_seen, min_seen); // exponential tail visible
+}
+
+} // namespace
+} // namespace hermes::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Discrete-event queue: ordering, cancellation and clock semantics the
+ * whole simulation rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace hermes::sim
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.scheduleAt(5, [&] { order.push_back(1); });
+    q.scheduleAt(5, [&] { order.push_back(2); });
+    q.scheduleAt(5, [&] { order.push_back(3); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    EventId id = q.scheduleAt(10, [&] { ran = true; });
+    q.cancel(id);
+    q.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterRunIsNoop)
+{
+    EventQueue q;
+    int runs = 0;
+    EventId id = q.scheduleAt(10, [&] { ++runs; });
+    q.runAll();
+    q.cancel(id); // already executed
+    q.scheduleAt(20, [&] { ++runs; });
+    q.runAll();
+    EXPECT_EQ(runs, 2);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int runs = 0;
+    q.scheduleAt(10, [&] { ++runs; });
+    q.scheduleAt(20, [&] { ++runs; });
+    q.scheduleAt(30, [&] { ++runs; });
+    EXPECT_EQ(q.runUntil(20), 2u);
+    EXPECT_EQ(runs, 2);
+    EXPECT_EQ(q.now(), 20u);
+    q.runAll();
+    EXPECT_EQ(runs, 3);
+}
+
+TEST(EventQueue, EventsScheduleMoreEvents)
+{
+    EventQueue q;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 5)
+            q.scheduleAfter(10, chain);
+    };
+    q.scheduleAt(0, chain);
+    q.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(q.now(), 40u);
+}
+
+TEST(EventQueue, PastTimesClampToNow)
+{
+    EventQueue q;
+    q.scheduleAt(100, [] {});
+    q.runAll();
+    TimeNs fired_at = 0;
+    q.scheduleAt(50, [&] { fired_at = q.now(); }); // in the past
+    q.runAll();
+    EXPECT_EQ(fired_at, 100u);
+}
+
+TEST(EventQueue, EmptyReflectsCancellations)
+{
+    EventQueue q;
+    EventId a = q.scheduleAt(10, [] {});
+    EXPECT_FALSE(q.empty());
+    q.cancel(a);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StressManyEvents)
+{
+    EventQueue q;
+    uint64_t sum = 0;
+    for (int i = 0; i < 100000; ++i)
+        q.scheduleAt(i % 997, [&] { ++sum; });
+    EXPECT_EQ(q.runAll(), 100000u);
+    EXPECT_EQ(sum, 100000u);
+}
+
+} // namespace
+} // namespace hermes::sim

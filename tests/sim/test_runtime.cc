@@ -1,0 +1,281 @@
+/**
+ * @file
+ * SimRuntime: CPU occupancy/queueing, message delivery, fault injection —
+ * the resource model behind every benchmark curve.
+ */
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+#include "membership/messages.hh"
+#include "net/env.hh"
+#include "sim/runtime.hh"
+
+namespace hermes::sim
+{
+namespace
+{
+
+using membership::RmHeartbeatMsg;
+
+/** Minimal programmable replica for transport tests. */
+class ProbeNode : public net::Node
+{
+  public:
+    std::function<void(const net::MessagePtr &)> handler;
+    uint64_t received = 0;
+
+    void
+    onMessage(const net::MessagePtr &msg) override
+    {
+        ++received;
+        if (handler)
+            handler(msg);
+    }
+};
+
+class RuntimeTest : public ::testing::Test
+{
+  protected:
+    void
+    build(size_t nodes, CostModel cost = {})
+    {
+        rt = std::make_unique<SimRuntime>(nodes, cost, 1234);
+        probes.clear();
+        for (size_t i = 0; i < nodes; ++i) {
+            probes.push_back(std::make_unique<ProbeNode>());
+            rt->attach(static_cast<NodeId>(i), probes[i].get());
+        }
+    }
+
+    std::unique_ptr<SimRuntime> rt;
+    std::vector<std::unique_ptr<ProbeNode>> probes;
+};
+
+TEST_F(RuntimeTest, MessageDelivery)
+{
+    build(2);
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[1]->received, 1u);
+    EXPECT_EQ(rt->network().deliveredCount(), 1u);
+}
+
+TEST_F(RuntimeTest, DeliveryTakesNetworkLatency)
+{
+    CostModel cost;
+    cost.netJitterNs = 0;
+    build(2, cost);
+    TimeNs arrival = 0;
+    probes[1]->handler = [&](auto &) { arrival = rt->now(); };
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    // send posting + base latency + per-byte + receive handling
+    EXPECT_GE(arrival, cost.netBaseNs);
+    EXPECT_LT(arrival, 10 * cost.netBaseNs);
+}
+
+TEST_F(RuntimeTest, BroadcastReachesAllButSelf)
+{
+    build(4);
+    rt->submit(2, 0, [&] {
+        rt->env(2).broadcast({0, 1, 2, 3},
+                             std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[0]->received, 1u);
+    EXPECT_EQ(probes[1]->received, 1u);
+    EXPECT_EQ(probes[2]->received, 0u);
+    EXPECT_EQ(probes[3]->received, 1u);
+}
+
+TEST_F(RuntimeTest, CpuSerializesJobsPerWorker)
+{
+    CostModel cost;
+    cost.workerThreads = 1;
+    build(1, cost);
+    std::vector<TimeNs> exec_times;
+    for (int i = 0; i < 3; ++i)
+        rt->submit(0, 1000, [&] { exec_times.push_back(rt->now()); });
+    rt->runFor(1_ms);
+    ASSERT_EQ(exec_times.size(), 3u);
+    // One worker: jobs run back to back, 1000ns apart.
+    EXPECT_EQ(exec_times[1] - exec_times[0], 1000u);
+    EXPECT_EQ(exec_times[2] - exec_times[1], 1000u);
+}
+
+TEST_F(RuntimeTest, MultipleWorkersRunInParallel)
+{
+    CostModel cost;
+    cost.workerThreads = 4;
+    build(1, cost);
+    std::vector<TimeNs> exec_times;
+    for (int i = 0; i < 4; ++i)
+        rt->submit(0, 1000, [&] { exec_times.push_back(rt->now()); });
+    rt->runFor(1_ms);
+    ASSERT_EQ(exec_times.size(), 4u);
+    EXPECT_EQ(exec_times[0], exec_times[3]); // all start together
+}
+
+TEST_F(RuntimeTest, SendCostExtendsWorkerOccupancy)
+{
+    CostModel cost;
+    cost.workerThreads = 1;
+    cost.netJitterNs = 0;
+    build(2, cost);
+    std::vector<TimeNs> exec_times;
+    rt->submit(0, 100, [&] {
+        exec_times.push_back(rt->now());
+        for (int i = 0; i < 10; ++i)
+            rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->submit(0, 100, [&] { exec_times.push_back(rt->now()); });
+    rt->runFor(1_ms);
+    ASSERT_EQ(exec_times.size(), 2u);
+    // Second job waits for the first job's 10 send postings.
+    EXPECT_GE(exec_times[1] - exec_times[0],
+              100 + 10 * cost.sendBaseNs);
+}
+
+TEST_F(RuntimeTest, CpuBusyAccounting)
+{
+    CostModel cost;
+    build(1, cost);
+    rt->submit(0, 5000, [] {});
+    rt->runFor(1_ms);
+    EXPECT_EQ(rt->cpuBusyNs(0), 5000u);
+}
+
+TEST_F(RuntimeTest, CrashStopsDelivery)
+{
+    build(2);
+    rt->crash(1);
+    EXPECT_FALSE(rt->alive(1));
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[1]->received, 0u);
+    EXPECT_GE(rt->network().droppedCount(), 1u);
+}
+
+TEST_F(RuntimeTest, CrashDiscardsQueuedJobs)
+{
+    build(1);
+    bool ran = false;
+    rt->submit(0, 10_us, [&] { ran = true; });
+    rt->crash(0);
+    rt->runFor(1_ms);
+    EXPECT_FALSE(ran);
+}
+
+TEST_F(RuntimeTest, TimersFireThroughCpu)
+{
+    build(1);
+    TimeNs fired_at = 0;
+    rt->submit(0, 0, [&] {
+        rt->env(0).setTimer(50_us, [&] { fired_at = rt->now(); });
+    });
+    rt->runFor(1_ms);
+    EXPECT_GE(fired_at, 50_us);
+    EXPECT_LT(fired_at, 60_us);
+}
+
+TEST_F(RuntimeTest, CancelledTimerNeverFires)
+{
+    build(1);
+    bool fired = false;
+    rt->submit(0, 0, [&] {
+        net::TimerId id = rt->env(0).setTimer(50_us, [&] { fired = true; });
+        rt->env(0).cancelTimer(id);
+    });
+    rt->runFor(1_ms);
+    EXPECT_FALSE(fired);
+}
+
+TEST_F(RuntimeTest, NetworkLossDropsMessages)
+{
+    build(2);
+    rt->network().setLossProbability(1.0);
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[1]->received, 0u);
+}
+
+TEST_F(RuntimeTest, NetworkDuplication)
+{
+    build(2);
+    rt->network().setDuplicateProbability(1.0);
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[1]->received, 2u);
+}
+
+TEST_F(RuntimeTest, PartitionBlocksCrossGroupTraffic)
+{
+    build(4);
+    rt->network().setPartition({0, 0, 1, 1});
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+        rt->env(0).send(2, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[1]->received, 1u); // same side
+    EXPECT_EQ(probes[2]->received, 0u); // across the cut
+
+    rt->network().healPartition();
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(2, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[2]->received, 1u);
+}
+
+TEST_F(RuntimeTest, DropFilterTargetsSpecificMessages)
+{
+    build(3);
+    rt->network().setDropFilter(
+        [](NodeId, NodeId dst, const net::MessagePtr &) {
+            return dst == 2;
+        });
+    rt->submit(0, 0, [&] {
+        rt->env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+        rt->env(0).send(2, std::make_shared<RmHeartbeatMsg>());
+    });
+    rt->runFor(1_ms);
+    EXPECT_EQ(probes[1]->received, 1u);
+    EXPECT_EQ(probes[2]->received, 0u);
+}
+
+TEST_F(RuntimeTest, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        SimRuntime runtime(3, CostModel{}, 99);
+        ProbeNode nodes[3];
+        for (NodeId i = 0; i < 3; ++i)
+            runtime.attach(i, &nodes[i]);
+        std::vector<TimeNs> arrivals;
+        nodes[1].handler = [&](auto &) { arrivals.push_back(runtime.now()); };
+        for (int i = 0; i < 20; ++i) {
+            runtime.submit(0, 100, [&runtime] {
+                runtime.env(0).send(1, std::make_shared<RmHeartbeatMsg>());
+            });
+        }
+        runtime.runFor(5_ms);
+        return arrivals;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace hermes::sim

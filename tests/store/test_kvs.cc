@@ -1,0 +1,206 @@
+/**
+ * @file
+ * KVS substrate: CRCW correctness — seqlock readers must never observe a
+ * torn record while striped writers mutate (paper §4.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "store/kvs.hh"
+
+namespace hermes::store
+{
+namespace
+{
+
+TEST(KvStore, MissingKeyNotFound)
+{
+    KvStore kvs(1024, 64);
+    EXPECT_FALSE(kvs.read(42).found);
+    EXPECT_EQ(kvs.size(), 0u);
+}
+
+TEST(KvStore, WriteThenRead)
+{
+    KvStore kvs(1024, 64);
+    kvs.withKey(42, [](KeyRecord &rec) {
+        rec.setValue("hello");
+        rec.meta().ts = {1, 0};
+        rec.meta().state = 2;
+    });
+    ReadResult r = kvs.read(42);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.value, "hello");
+    EXPECT_EQ(r.meta.ts, (Timestamp{1, 0}));
+    EXPECT_EQ(r.meta.state, 2);
+    EXPECT_EQ(kvs.size(), 1u);
+}
+
+TEST(KvStore, ExistedFlag)
+{
+    KvStore kvs(64, 16);
+    bool first = kvs.withKey(7, [](KeyRecord &rec) { return rec.existed(); });
+    bool second = kvs.withKey(7, [](KeyRecord &rec) { return rec.existed(); });
+    EXPECT_FALSE(first);
+    EXPECT_TRUE(second);
+}
+
+TEST(KvStore, OverwriteReplacesValue)
+{
+    KvStore kvs(64, 32);
+    kvs.withKey(1, [](KeyRecord &rec) { rec.setValue("first"); });
+    kvs.withKey(1, [](KeyRecord &rec) { rec.setValue("second!"); });
+    EXPECT_EQ(kvs.read(1).value, "second!");
+    EXPECT_EQ(kvs.size(), 1u);
+}
+
+TEST(KvStore, ValueShrinksAndGrows)
+{
+    KvStore kvs(64, 32);
+    kvs.withKey(1, [](KeyRecord &rec) { rec.setValue("0123456789"); });
+    kvs.withKey(1, [](KeyRecord &rec) { rec.setValue("ab"); });
+    EXPECT_EQ(kvs.read(1).value, "ab");
+    kvs.withKey(1, [](KeyRecord &rec) {
+        rec.setValue(std::string(32, 'z'));
+    });
+    EXPECT_EQ(kvs.read(1).value, std::string(32, 'z'));
+}
+
+TEST(KvStore, WithKeyReturnsClosureResult)
+{
+    KvStore kvs(64, 16);
+    kvs.withKey(5, [](KeyRecord &rec) { rec.meta().aux = 17; });
+    uint32_t aux = kvs.withKey(5, [](KeyRecord &rec) {
+        return rec.meta().aux;
+    });
+    EXPECT_EQ(aux, 17u);
+}
+
+TEST(KvStore, ManyKeysChainInBuckets)
+{
+    KvStore kvs(16, 16); // tiny bucket array forces chains
+    for (Key k = 0; k < 1000; ++k) {
+        kvs.withKey(k, [k](KeyRecord &rec) {
+            rec.setValue(std::to_string(k));
+        });
+    }
+    EXPECT_EQ(kvs.size(), 1000u);
+    for (Key k = 0; k < 1000; ++k)
+        EXPECT_EQ(kvs.read(k).value, std::to_string(k)) << "key " << k;
+}
+
+TEST(KvStore, ForEachVisitsAllKeys)
+{
+    KvStore kvs(256, 16);
+    for (Key k = 10; k < 20; ++k)
+        kvs.withKey(k, [](KeyRecord &rec) { rec.setValue("x"); });
+    size_t visited = 0;
+    uint64_t key_sum = 0;
+    kvs.forEach([&](Key k, const KeyMeta &, std::string_view v) {
+        ++visited;
+        key_sum += k;
+        EXPECT_EQ(v, "x");
+    });
+    EXPECT_EQ(visited, 10u);
+    EXPECT_EQ(key_sum, 145u); // 10+...+19
+}
+
+/**
+ * The CRCW torture test: concurrent writers bump (counter, payload) pairs
+ * where the payload deterministically derives from the counter; readers
+ * must never see a pair that disagrees — that would be a torn read.
+ */
+TEST(KvStore, SeqlockReadersNeverSeeTornWrites)
+{
+    KvStore kvs(64, 64);
+    constexpr Key kKey = 3;
+    constexpr int kWrites = 20000;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> torn{0};
+    std::atomic<uint64_t> reads{0};
+
+    kvs.withKey(kKey, [](KeyRecord &rec) {
+        rec.meta().ts = {0, 0};
+        rec.setValue(std::string(48, 'A'));
+    });
+
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                ReadResult r = kvs.read(kKey);
+                if (!r.found)
+                    continue;
+                ++reads;
+                // Payload byte must match version % 26.
+                char expected = 'A' + static_cast<char>(
+                    r.meta.ts.version % 26);
+                for (char c : r.value) {
+                    if (c != expected) {
+                        ++torn;
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    std::vector<std::thread> writers;
+    std::atomic<uint32_t> version{0};
+    for (int t = 0; t < 2; ++t) {
+        writers.emplace_back([&] {
+            for (int i = 0; i < kWrites; ++i) {
+                uint32_t v = version.fetch_add(1) + 1;
+                kvs.withKey(kKey, [v](KeyRecord &rec) {
+                    if (rec.meta().ts.version >= v)
+                        return;
+                    rec.meta().ts.version = v;
+                    rec.setValue(std::string(
+                        48, 'A' + static_cast<char>(v % 26)));
+                });
+            }
+        });
+    }
+    for (auto &w : writers)
+        w.join();
+    stop.store(true, std::memory_order_release);
+    for (auto &r : readers)
+        r.join();
+
+    EXPECT_EQ(torn.load(), 0u);
+    EXPECT_GT(reads.load(), 0u);
+}
+
+/** Concurrent inserters on distinct keys must not lose entries. */
+TEST(KvStore, ConcurrentInsertions)
+{
+    KvStore kvs(1 << 14, 16);
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&kvs, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                Key k = static_cast<Key>(t) * kPerThread + i;
+                kvs.withKey(k, [k](KeyRecord &rec) {
+                    rec.setValue(std::to_string(k));
+                });
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    EXPECT_EQ(kvs.size(), size_t{kThreads} * kPerThread);
+    for (int t = 0; t < kThreads; ++t) {
+        Key probe = static_cast<Key>(t) * kPerThread + 17;
+        EXPECT_EQ(kvs.read(probe).value, std::to_string(probe));
+    }
+}
+
+} // namespace
+} // namespace hermes::store
