@@ -113,60 +113,108 @@ class KeySearch
         return h;
     }
 
-    bool
-    dfs(const Value &value, size_t remaining)
+    /** One suspended search level of the iterative DFS. */
+    struct Frame
     {
-        if (remaining == 0)
-            return true;
-        if (visited_.size() >= budget_) {
-            exhausted_ = true;
-            return false;
-        }
-        if (!visited_.insert(stateHash(value)).second)
-            return false; // state already explored fruitlessly
-        // scanFrom_ may only stand past ops that are linearized in THIS
-        // branch; restore it when backtracking out of this frame.
-        size_t saved_scan_from = scanFrom_;
+        Value value;            ///< register content on entry
+        size_t remaining = 0;   ///< completed ops still to linearize
+        size_t savedScanFrom = 0;
+        size_t i = 0;           ///< next candidate index to try
+        TimeNs minResponse = ~TimeNs{0};
+        size_t chosen = 0;      ///< op linearized to enter the child
+    };
 
-        // Minimal-op rule: an op may linearize next only if no other
-        // unlinearized op completed before it was invoked. With ops
-        // sorted by invocation, the candidate window is a prefix starting
-        // at the first unlinearized op.
-        while (scanFrom_ < ops_.size() && linearized_[scanFrom_])
-            ++scanFrom_;
-        size_t scan_from = scanFrom_;
+    /**
+     * Iterative DFS over linearization orders. Each Frame mirrors one
+     * recursive activation; the explicit stack keeps the search depth
+     * (which equals the history length on sequential histories) off the
+     * call stack, where long histories overflow it — immediately under
+     * sanitizers, eventually without.
+     */
+    bool
+    dfs(Value value, size_t remaining)
+    {
+        std::vector<Frame> stack;
+        bool entering = true;
 
-        TimeNs min_response = ~TimeNs{0};
-        for (size_t i = scan_from; i < ops_.size(); ++i) {
-            if (!linearized_[i]) {
-                min_response = std::min(min_response, ops_[i].response);
-                if (ops_[i].invoke > min_response)
-                    break; // later ops can't lower the bound for earlier
+        while (true) {
+            if (entering) {
+                if (remaining == 0)
+                    return true;
+                if (visited_.size() >= budget_) {
+                    exhausted_ = true;
+                    return false;
+                }
+                if (!visited_.insert(stateHash(value)).second) {
+                    // State already explored fruitlessly: the child
+                    // "returns false" and the parent resumes below.
+                    entering = false;
+                    continue;
+                }
+                {
+                    Frame frame;
+                    frame.value = std::move(value);
+                    frame.remaining = remaining;
+                    // scanFrom_ may only stand past ops linearized in
+                    // THIS branch; restore it when backtracking out.
+                    frame.savedScanFrom = scanFrom_;
+
+                    // Minimal-op rule: an op may linearize next only if
+                    // no other unlinearized op completed before it was
+                    // invoked. With ops sorted by invocation, the
+                    // candidate window is a prefix starting at the first
+                    // unlinearized op.
+                    while (scanFrom_ < ops_.size()
+                           && linearized_[scanFrom_])
+                        ++scanFrom_;
+                    frame.i = scanFrom_;
+                    for (size_t i = frame.i; i < ops_.size(); ++i) {
+                        if (!linearized_[i]) {
+                            frame.minResponse = std::min(
+                                frame.minResponse, ops_[i].response);
+                            if (ops_[i].invoke > frame.minResponse)
+                                break; // later ops can't lower the bound
+                        }
+                    }
+                    stack.push_back(std::move(frame));
+                }
+            } else {
+                // A child branch failed: undo its linearization and
+                // resume the parent's candidate scan at the next op.
+                if (stack.empty())
+                    return false;
+                Frame &frame = stack.back();
+                linearized_[frame.chosen] = false;
+                setHash_ ^= mix64(frame.chosen + 1);
+                scanFrom_ = frame.savedScanFrom;
+                ++frame.i;
             }
-        }
 
-        for (size_t i = scan_from; i < ops_.size(); ++i) {
-            if (ops_[i].invoke > min_response)
-                break; // sorted by invoke: nothing further is a candidate
-            if (linearized_[i])
-                continue;
-            Value next;
-            if (!apply(ops_[i], value, next))
-                continue;
-            linearized_[i] = true;
-            setHash_ ^= mix64(i + 1);
-            size_t next_remaining =
-                remaining - (ops_[i].isPending() ? 0 : 1);
-            if (dfs(next, next_remaining))
-                return true;
-            linearized_[i] = false;
-            setHash_ ^= mix64(i + 1);
-            scanFrom_ = saved_scan_from;
-            if (exhausted_)
-                return false;
+            Frame &frame = stack.back();
+            entering = false;
+            for (; frame.i < ops_.size(); ++frame.i) {
+                size_t i = frame.i;
+                if (ops_[i].invoke > frame.minResponse)
+                    break; // sorted by invoke: nothing further qualifies
+                if (linearized_[i])
+                    continue;
+                Value next;
+                if (!apply(ops_[i], frame.value, next))
+                    continue;
+                linearized_[i] = true;
+                setHash_ ^= mix64(i + 1);
+                frame.chosen = i;
+                value = std::move(next);
+                remaining =
+                    frame.remaining - (ops_[i].isPending() ? 0 : 1);
+                entering = true;
+                break;
+            }
+            if (entering)
+                continue; // descend into the chosen op
+            scanFrom_ = frame.savedScanFrom;
+            stack.pop_back();
         }
-        scanFrom_ = saved_scan_from;
-        return false;
     }
 
     std::vector<HistOp> ops_;

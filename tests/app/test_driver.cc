@@ -115,8 +115,9 @@ TEST(Driver, HistoryRecordsEveryCompletedOp)
     EXPECT_EQ(completed, result.opsTotal);
     for (const HistOp &op : result.history.ops()) {
         EXPECT_LT(op.key, 5u);
-        if (!op.isPending())
+        if (!op.isPending()) {
             EXPECT_LE(op.invoke, op.response);
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "app/driver.hh"
 #include "app/lin_checker.hh"
 
@@ -58,9 +59,7 @@ class BaselineProperty : public ::testing::TestWithParam<BaselineParam>
 TEST_P(BaselineProperty, ConsistencyHolds)
 {
     const BaselineParam &param = GetParam();
-    ClusterConfig config;
-    config.protocol = param.protocol;
-    config.nodes = 3;
+    ClusterConfig config = test::protocolConfig(param.protocol, 3);
     config.seed = param.seed;
     SimCluster cluster(config);
     cluster.start();

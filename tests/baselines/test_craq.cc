@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "app/driver.hh"
 #include "app/lin_checker.hh"
 
@@ -20,14 +21,7 @@ using app::ClusterConfig;
 using app::Protocol;
 using app::SimCluster;
 
-ClusterConfig
-craqConfig(size_t nodes)
-{
-    ClusterConfig config;
-    config.protocol = Protocol::Craq;
-    config.nodes = nodes;
-    return config;
-}
+using test::craqConfig;
 
 TEST(Craq, ChainRoles)
 {

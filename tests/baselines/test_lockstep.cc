@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "app/driver.hh"
 
 namespace hermes
@@ -19,15 +20,7 @@ using app::ClusterConfig;
 using app::Protocol;
 using app::SimCluster;
 
-ClusterConfig
-lockstepConfig(size_t nodes, size_t batch_cap = 8)
-{
-    ClusterConfig config;
-    config.protocol = Protocol::Lockstep;
-    config.nodes = nodes;
-    config.replica.lockstepConfig.roundBatchCap = batch_cap;
-    return config;
-}
+using test::lockstepConfig;
 
 TEST(Lockstep, SequencerIsLowestId)
 {

@@ -8,6 +8,7 @@
 
 #include "app/cluster.hh"
 #include "app/driver.hh"
+#include "support/cluster_fixture.hh"
 
 namespace hermes
 {
@@ -18,15 +19,7 @@ using app::ClusterConfig;
 using app::Protocol;
 using app::SimCluster;
 
-ClusterConfig
-zabConfig(size_t nodes)
-{
-    ClusterConfig config;
-    config.protocol = Protocol::Zab;
-    config.nodes = nodes;
-    config.cost.multicastOffload = true; // the paper gives rZAB multicast
-    return config;
-}
+using test::zabConfig;
 
 TEST(Zab, LeaderIsLowestId)
 {

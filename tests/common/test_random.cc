@@ -85,9 +85,10 @@ TEST(Zipfian, RankZeroIsHottest)
         ++counts[zipf.next(rng)];
     int hottest = counts[0];
     for (auto &[rank, count] : counts) {
-        if (rank > 0)
+        if (rank > 0) {
             EXPECT_GE(hottest, count * 0.8)
                 << "rank " << rank << " beat rank 0";
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "hermes/key_state.hh"
 
 namespace hermes
@@ -21,14 +22,7 @@ using app::Protocol;
 using app::SimCluster;
 using proto::KeyState;
 
-ClusterConfig
-hermesConfig(size_t nodes)
-{
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = nodes;
-    return config;
-}
+using test::hermesConfig;
 
 TEST(HermesBasic, ReadOfUnwrittenKeyIsEmpty)
 {

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "hermes/key_state.hh"
 
 namespace hermes
@@ -23,17 +24,10 @@ using proto::KeyState;
 ClusterConfig
 faultConfig(size_t nodes, bool rm = false)
 {
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = nodes;
+    ClusterConfig config = test::hermesConfig(nodes);
     config.replica.hermesConfig.mlt = 200_us;
-    if (rm) {
-        config.replica.enableRm = true;
-        config.replica.rmConfig.heartbeatInterval = 2_ms;
-        config.replica.rmConfig.failureTimeout = 20_ms;
-        config.replica.rmConfig.leaseDuration = 8_ms;
-        config.replica.rmConfig.proposalRetry = 5_ms;
-    }
+    if (rm)
+        config = test::withFastRm(std::move(config));
     return config;
 }
 
@@ -246,8 +240,9 @@ TEST(HermesFaults, MinorityPartitionStopsServingMajorityContinues)
     // Minority side: reads are stalled (no lease). The read may stay
     // incomplete; we assert it did NOT return a stale value.
     auto minority_read = cluster.readSync(3, 1, 20_ms);
-    if (minority_read.has_value())
+    if (minority_read.has_value()) {
         EXPECT_NE(*minority_read, "before-partition");
+    }
 }
 
 TEST(HermesFaults, TwoSimultaneousCrashesWithQuorumSurvive)

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "app/driver.hh"
 #include "app/lin_checker.hh"
 
@@ -23,9 +24,7 @@ using app::SimCluster;
 ClusterConfig
 joinConfig(size_t nodes, size_t initial_live)
 {
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = nodes;
+    ClusterConfig config = test::hermesConfig(nodes);
     config.initialLive = initial_live;
     return config;
 }

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "app/driver.hh"
 #include "app/lin_checker.hh"
 
@@ -23,9 +24,7 @@ using app::SimCluster;
 ClusterConfig
 lscFreeConfig(size_t nodes)
 {
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = nodes;
+    ClusterConfig config = test::hermesConfig(nodes);
     config.replica.hermesConfig.lscFreeReads = true;
     return config;
 }
@@ -44,9 +43,7 @@ TEST(HermesLscFree, ReadCostsHalfRoundTripExtra)
     // §8: LSC-free reads wait for a majority of epoch-check answers, so
     // a lone read pays ~1 RTT where the leased read is local.
     auto read_latency = [](bool lsc_free) {
-        ClusterConfig config;
-        config.protocol = Protocol::Hermes;
-        config.nodes = 3;
+        ClusterConfig config = test::hermesConfig(3);
         config.cost.netJitterNs = 0;
         config.replica.hermesConfig.lscFreeReads = lsc_free;
         SimCluster cluster(config);

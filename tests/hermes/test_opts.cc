@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "hermes/key_state.hh"
 
 namespace hermes
@@ -23,9 +24,7 @@ using proto::KeyState;
 ClusterConfig
 optConfig(size_t nodes)
 {
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = nodes;
+    ClusterConfig config = test::hermesConfig(nodes);
     config.cost.netJitterNs = 0; // deterministic message crossings
     return config;
 }
@@ -88,10 +87,7 @@ TEST(HermesOpts, O2ImprovesConflictFairness)
     // With a single physical id per node, node 2 wins every same-version
     // conflict against node 0. With virtual ids, node 0 must win some.
     auto winners_for = [](unsigned vids) {
-        ClusterConfig config;
-        config.protocol = Protocol::Hermes;
-        config.nodes = 3;
-        config.cost.netJitterNs = 0;
+        ClusterConfig config = optConfig(3);
         config.replica.hermesConfig.virtualIdsPerNode = vids;
         SimCluster cluster(config);
         cluster.start();
@@ -149,10 +145,7 @@ TEST(HermesOpts, O3ReducesFollowerBlockingLatency)
     // for VAL) to a half (wait for the other follower's ACK). Measure the
     // unblock time of a read stalled behind a remote write.
     auto blocked_read_latency = [](bool o3) {
-        ClusterConfig config;
-        config.protocol = Protocol::Hermes;
-        config.nodes = 3;
-        config.cost.netJitterNs = 0;
+        ClusterConfig config = optConfig(3);
         config.replica.hermesConfig.ackBroadcast = o3;
         SimCluster cluster(config);
         cluster.start();

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "app/driver.hh"
 #include "app/lin_checker.hh"
 
@@ -70,18 +71,12 @@ TEST_P(HermesProperty, LinearizableAndConvergent)
 {
     const PropertyParam &param = GetParam();
 
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = param.scenario == Scenario::Crash ? 5 : 3;
+    ClusterConfig config =
+        test::hermesConfig(param.scenario == Scenario::Crash ? 5 : 3);
     config.seed = param.seed;
     config.replica.hermesConfig.mlt = 150_us;
-    if (param.scenario == Scenario::Crash) {
-        config.replica.enableRm = true;
-        config.replica.rmConfig.heartbeatInterval = 1_ms;
-        config.replica.rmConfig.failureTimeout = 8_ms;
-        config.replica.rmConfig.leaseDuration = 4_ms;
-        config.replica.rmConfig.proposalRetry = 3_ms;
-    }
+    if (param.scenario == Scenario::Crash)
+        config = test::withFastRm(std::move(config), 1_ms, 8_ms, 4_ms, 3_ms);
     SimCluster cluster(config);
     cluster.start();
 

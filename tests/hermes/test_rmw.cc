@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "app/cluster.hh"
+#include "support/cluster_fixture.hh"
 #include "hermes/key_state.hh"
 
 namespace hermes
@@ -18,18 +19,11 @@ using app::ClusterConfig;
 using app::Protocol;
 using app::SimCluster;
 
-ClusterConfig
-rmwConfig(size_t nodes)
-{
-    ClusterConfig config;
-    config.protocol = Protocol::Hermes;
-    config.nodes = nodes;
-    return config;
-}
+using test::hermesConfig;
 
 TEST(HermesRmw, CasOnFreshKeySucceeds)
 {
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     auto applied = cluster.casSync(0, 1, "", "locked");
     ASSERT_TRUE(applied.has_value());
@@ -39,7 +33,7 @@ TEST(HermesRmw, CasOnFreshKeySucceeds)
 
 TEST(HermesRmw, CasWithWrongExpectedFails)
 {
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     ASSERT_TRUE(cluster.writeSync(0, 2, "actual"));
     bool done = false, applied = true;
@@ -59,7 +53,7 @@ TEST(HermesRmw, CasWithWrongExpectedFails)
 TEST(HermesRmw, CasChainBuildsCounter)
 {
     // Sequential CASes emulating a replicated counter.
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     Value current = "";
     for (int i = 1; i <= 10; ++i) {
@@ -78,7 +72,7 @@ TEST(HermesRmw, ConcurrentCasAtMostOneWins)
     // All nodes CAS the same fresh key concurrently; §3.6 guarantees at
     // most one concurrent RMW commits — and with no other updates racing,
     // exactly one (the highest cid) must.
-    SimCluster cluster(rmwConfig(5));
+    SimCluster cluster(hermesConfig(5));
     cluster.start();
     int wins = 0, losses = 0;
     for (NodeId n = 0; n < 5; ++n) {
@@ -99,7 +93,7 @@ TEST(HermesRmw, WriteBeatsConcurrentRmw)
     // A write racing an RMW always gets the higher timestamp (version+2
     // vs +1), so the write's value must be the final one and the RMW must
     // observe either pre- or post-write state, never clobber it.
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     bool write_done = false, cas_done = false;
     cluster.write(0, 8, "the-write", [&] { write_done = true; });
@@ -114,7 +108,7 @@ TEST(HermesRmw, WriteBeatsConcurrentRmw)
 
 TEST(HermesRmw, AbortedRmwIsRetriedInternally)
 {
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     // Force an abort: two concurrent CASes on a fresh key; the loser's
     // protocol RMW aborts and the retry re-checks expected (now stale).
@@ -133,7 +127,7 @@ TEST(HermesRmw, RmwFlagPropagatedInInv)
 {
     // A follower invalidated by an RMW INV must store the RMW flag so a
     // replay of that update stays an RMW (update replays, §3.6).
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     bool drop_vals = true;
     cluster.runtime().network().setDropFilter(
@@ -154,7 +148,7 @@ TEST(HermesRmw, LockServicePattern)
 {
     // The paper motivates Hermes for lock services (§2.1): acquire via
     // CAS("", owner), release via CAS(owner, "").
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     constexpr Key kLock = 77;
 
@@ -172,7 +166,7 @@ TEST(HermesRmw, LockServicePattern)
 
 TEST(HermesRmw, StatsDistinguishCommitsAndAborts)
 {
-    SimCluster cluster(rmwConfig(3));
+    SimCluster cluster(hermesConfig(3));
     cluster.start();
     ASSERT_TRUE(cluster.casSync(0, 1, "", "v").value_or(false));
     ASSERT_FALSE(cluster.casSync(1, 1, "wrong", "w").value_or(true));

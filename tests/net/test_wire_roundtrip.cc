@@ -1,0 +1,352 @@
+/**
+ * @file
+ * Exhaustive encode/decode round-trips for every Hermes, membership and
+ * client wire message type, plus a truncation sweep asserting that every
+ * strict prefix of every valid frame is rejected (treated as loss, never
+ * crashing or mis-decoding a replica).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hermes/messages.hh"
+#include "membership/messages.hh"
+#include "net/client_msgs.hh"
+#include "net/message.hh"
+
+namespace hermes
+{
+namespace
+{
+
+void
+registerAllCodecs()
+{
+    proto::registerHermesCodecs();
+    membership::registerRmCodecs();
+    net::registerClientCodecs();
+}
+
+std::vector<uint8_t>
+encode(const net::Message &msg)
+{
+    std::vector<uint8_t> bytes;
+    net::encodeMessage(msg, bytes);
+    return bytes;
+}
+
+/** Round-trip @p msg and return the decoded message as T. */
+template <typename T>
+T
+roundTrip(const T &msg)
+{
+    auto bytes = encode(msg);
+    // wireSize() = 16-byte nominal envelope + payload; the actual encoded
+    // envelope is 9 bytes (type u8 + src u32 + epoch u32).
+    EXPECT_EQ(bytes.size(), msg.wireSize() - 7)
+        << "payloadSize() disagrees with serializePayload() for "
+        << net::msgTypeName(msg.type());
+    auto decoded = net::decodeMessage(bytes.data(), bytes.size());
+    if (decoded == nullptr) {
+        ADD_FAILURE() << "decodeMessage returned nullptr for "
+                      << net::msgTypeName(msg.type());
+        return msg;
+    }
+    EXPECT_EQ(decoded->type(), msg.type());
+    EXPECT_EQ(decoded->src, msg.src);
+    EXPECT_EQ(decoded->epoch, msg.epoch);
+    return static_cast<const T &>(*decoded);
+}
+
+/** Every strict prefix of a valid frame must decode to nullptr. */
+void
+expectAllPrefixesRejected(const net::Message &msg)
+{
+    auto bytes = encode(msg);
+    for (size_t len = 0; len < bytes.size(); ++len)
+        EXPECT_EQ(net::decodeMessage(bytes.data(), len), nullptr)
+            << net::msgTypeName(msg.type()) << " prefix of " << len << "/"
+            << bytes.size() << " bytes was not rejected";
+}
+
+template <typename T>
+T
+stampEnvelope(T msg)
+{
+    msg.src = 3;
+    msg.epoch = 9;
+    return msg;
+}
+
+proto::InvMsg
+sampleInv(bool rmw)
+{
+    proto::InvMsg inv;
+    inv.key = 0xFEEDFACEull;
+    inv.ts = {41, 2};
+    inv.rmw = rmw;
+    inv.value = rmw ? "cas-desired" : std::string(300, 'x');
+    return stampEnvelope(std::move(inv));
+}
+
+TEST(WireRoundTrip, Inv)
+{
+    registerAllCodecs();
+    auto out = roundTrip(sampleInv(false));
+    EXPECT_EQ(out.key, 0xFEEDFACEull);
+    EXPECT_EQ(out.ts, (Timestamp{41, 2}));
+    EXPECT_FALSE(out.rmw);
+    EXPECT_EQ(out.value, std::string(300, 'x'));
+}
+
+TEST(WireRoundTrip, InvRmwFlagSurvives)
+{
+    registerAllCodecs();
+    auto out = roundTrip(sampleInv(true));
+    EXPECT_TRUE(out.rmw);
+    EXPECT_EQ(out.value, "cas-desired");
+}
+
+TEST(WireRoundTrip, Ack)
+{
+    registerAllCodecs();
+    proto::AckMsg ack;
+    ack.key = 77;
+    ack.ts = {12, 4};
+    auto out = roundTrip(stampEnvelope(ack));
+    EXPECT_EQ(out.key, 77u);
+    EXPECT_EQ(out.ts, (Timestamp{12, 4}));
+}
+
+TEST(WireRoundTrip, Val)
+{
+    registerAllCodecs();
+    proto::ValMsg val;
+    val.key = 78;
+    val.ts = {13, 1};
+    auto out = roundTrip(stampEnvelope(val));
+    EXPECT_EQ(out.key, 78u);
+    EXPECT_EQ(out.ts, (Timestamp{13, 1}));
+}
+
+TEST(WireRoundTrip, StateReq)
+{
+    registerAllCodecs();
+    proto::StateReqMsg req;
+    req.offset = 123456789ull;
+    EXPECT_EQ(roundTrip(stampEnvelope(req)).offset, 123456789ull);
+}
+
+TEST(WireRoundTrip, StateChunk)
+{
+    registerAllCodecs();
+    proto::StateChunkMsg chunk;
+    chunk.offset = 64;
+    chunk.done = true;
+    chunk.entries.push_back({1, {2, 0}, 0x5A, true, "committed"});
+    chunk.entries.push_back({2, {9, 1}, 0, false, std::string(100, 'i')});
+    chunk.entries.push_back({3, {1, 2}, 0, true, ""});
+
+    auto out = roundTrip(stampEnvelope(chunk));
+    EXPECT_EQ(out.offset, 64u);
+    EXPECT_TRUE(out.done);
+    ASSERT_EQ(out.entries.size(), 3u);
+    EXPECT_EQ(out.entries[0].key, 1u);
+    EXPECT_EQ(out.entries[0].ts, (Timestamp{2, 0}));
+    EXPECT_EQ(out.entries[0].flags, 0x5A);
+    EXPECT_TRUE(out.entries[0].valid);
+    EXPECT_EQ(out.entries[0].value, "committed");
+    EXPECT_FALSE(out.entries[1].valid);
+    EXPECT_EQ(out.entries[1].value, std::string(100, 'i'));
+    EXPECT_EQ(out.entries[2].value, "");
+}
+
+TEST(WireRoundTrip, EpochCheckAndAck)
+{
+    registerAllCodecs();
+    proto::EpochCheckMsg check;
+    check.nonce = 0xC0FFEEull;
+    EXPECT_EQ(roundTrip(stampEnvelope(check)).nonce, 0xC0FFEEull);
+
+    proto::EpochCheckAckMsg ack;
+    ack.nonce = 0xC0FFEEull;
+    EXPECT_EQ(roundTrip(stampEnvelope(ack)).nonce, 0xC0FFEEull);
+}
+
+TEST(WireRoundTrip, RmHeartbeat)
+{
+    registerAllCodecs();
+    // The heartbeat's whole content is its envelope (src + epoch).
+    auto out = roundTrip(stampEnvelope(membership::RmHeartbeatMsg{}));
+    EXPECT_EQ(out.src, 3u);
+    EXPECT_EQ(out.epoch, 9u);
+}
+
+TEST(WireRoundTrip, RmPrepare)
+{
+    registerAllCodecs();
+    membership::RmPrepareMsg prepare;
+    prepare.targetEpoch = 6;
+    prepare.ballot = {3, 1};
+    auto out = roundTrip(stampEnvelope(prepare));
+    EXPECT_EQ(out.targetEpoch, 6u);
+    EXPECT_EQ(out.ballot, (membership::Ballot{3, 1}));
+}
+
+TEST(WireRoundTrip, RmPromiseWithoutAcceptedValue)
+{
+    registerAllCodecs();
+    membership::RmPromiseMsg promise;
+    promise.targetEpoch = 6;
+    promise.ballot = {3, 1};
+    promise.reply.ok = false;
+    promise.reply.promised = {4, 2};
+    auto out = roundTrip(stampEnvelope(promise));
+    EXPECT_FALSE(out.reply.ok);
+    EXPECT_EQ(out.reply.promised, (membership::Ballot{4, 2}));
+    EXPECT_FALSE(out.reply.acceptedBallot.has_value());
+    EXPECT_FALSE(out.reply.acceptedValue.has_value());
+}
+
+TEST(WireRoundTrip, RmPromiseWithAcceptedValue)
+{
+    registerAllCodecs();
+    membership::RmPromiseMsg promise;
+    promise.targetEpoch = 6;
+    promise.ballot = {3, 1};
+    promise.reply.ok = true;
+    promise.reply.promised = {3, 1};
+    promise.reply.acceptedBallot = membership::Ballot{2, 0};
+    promise.reply.acceptedValue = membership::MembershipView{6, {0, 1, 3}};
+    auto out = roundTrip(stampEnvelope(promise));
+    EXPECT_TRUE(out.reply.ok);
+    ASSERT_TRUE(out.reply.acceptedBallot.has_value());
+    EXPECT_EQ(*out.reply.acceptedBallot, (membership::Ballot{2, 0}));
+    ASSERT_TRUE(out.reply.acceptedValue.has_value());
+    EXPECT_EQ(*out.reply.acceptedValue,
+              (membership::MembershipView{6, {0, 1, 3}}));
+}
+
+TEST(WireRoundTrip, RmAccept)
+{
+    registerAllCodecs();
+    membership::RmAcceptMsg accept;
+    accept.targetEpoch = 7;
+    accept.ballot = {5, 0};
+    accept.value = {7, {0, 2, 4}};
+    auto out = roundTrip(stampEnvelope(accept));
+    EXPECT_EQ(out.targetEpoch, 7u);
+    EXPECT_EQ(out.ballot, (membership::Ballot{5, 0}));
+    EXPECT_EQ(out.value, (membership::MembershipView{7, {0, 2, 4}}));
+}
+
+TEST(WireRoundTrip, RmAccepted)
+{
+    registerAllCodecs();
+    membership::RmAcceptedMsg accepted;
+    accepted.targetEpoch = 7;
+    accepted.ballot = {5, 0};
+    accepted.reply = {true, {5, 0}};
+    auto out = roundTrip(stampEnvelope(accepted));
+    EXPECT_EQ(out.targetEpoch, 7u);
+    EXPECT_TRUE(out.reply.ok);
+    EXPECT_EQ(out.reply.promised, (membership::Ballot{5, 0}));
+}
+
+TEST(WireRoundTrip, RmDecide)
+{
+    registerAllCodecs();
+    membership::RmDecideMsg decide;
+    decide.view = {8, {1, 2, 3, 4}};
+    auto out = roundTrip(stampEnvelope(decide));
+    EXPECT_EQ(out.view, (membership::MembershipView{8, {1, 2, 3, 4}}));
+}
+
+TEST(WireRoundTrip, ClientRequestAndReply)
+{
+    registerAllCodecs();
+    net::ClientRequestMsg req;
+    req.op = net::ClientRequestMsg::Op::Cas;
+    req.reqId = 42;
+    req.key = 11;
+    req.value = "desired";
+    req.expected = "expected";
+    auto outReq = roundTrip(stampEnvelope(req));
+    EXPECT_EQ(outReq.op, net::ClientRequestMsg::Op::Cas);
+    EXPECT_EQ(outReq.reqId, 42u);
+    EXPECT_EQ(outReq.key, 11u);
+    EXPECT_EQ(outReq.value, "desired");
+    EXPECT_EQ(outReq.expected, "expected");
+
+    net::ClientReplyMsg reply;
+    reply.reqId = 42;
+    reply.ok = false;
+    reply.value = "observed";
+    auto outReply = roundTrip(stampEnvelope(reply));
+    EXPECT_EQ(outReply.reqId, 42u);
+    EXPECT_FALSE(outReply.ok);
+    EXPECT_EQ(outReply.value, "observed");
+}
+
+TEST(WireTruncation, EveryPrefixOfEveryMessageIsRejected)
+{
+    registerAllCodecs();
+
+    expectAllPrefixesRejected(sampleInv(false));
+    expectAllPrefixesRejected(sampleInv(true));
+
+    proto::AckMsg ack;
+    ack.key = 1;
+    ack.ts = {1, 1};
+    expectAllPrefixesRejected(stampEnvelope(ack));
+
+    proto::ValMsg val;
+    val.key = 1;
+    val.ts = {1, 1};
+    expectAllPrefixesRejected(stampEnvelope(val));
+
+    proto::StateReqMsg stateReq;
+    stateReq.offset = 10;
+    expectAllPrefixesRejected(stampEnvelope(stateReq));
+
+    proto::StateChunkMsg chunk;
+    chunk.entries.push_back({1, {2, 0}, 0, true, "value"});
+    chunk.entries.push_back({2, {3, 1}, 0, false, "other"});
+    expectAllPrefixesRejected(stampEnvelope(chunk));
+
+    expectAllPrefixesRejected(stampEnvelope(proto::EpochCheckMsg{}));
+    expectAllPrefixesRejected(stampEnvelope(proto::EpochCheckAckMsg{}));
+
+    expectAllPrefixesRejected(stampEnvelope(membership::RmHeartbeatMsg{}));
+
+    membership::RmPrepareMsg prepare;
+    prepare.ballot = {1, 0};
+    expectAllPrefixesRejected(stampEnvelope(prepare));
+
+    membership::RmPromiseMsg promise;
+    promise.reply.ok = true;
+    promise.reply.acceptedBallot = membership::Ballot{1, 0};
+    promise.reply.acceptedValue = membership::MembershipView{2, {0, 1, 2}};
+    expectAllPrefixesRejected(stampEnvelope(promise));
+
+    membership::RmAcceptMsg accept;
+    accept.value = {2, {0, 1, 2}};
+    expectAllPrefixesRejected(stampEnvelope(accept));
+
+    expectAllPrefixesRejected(stampEnvelope(membership::RmAcceptedMsg{}));
+
+    membership::RmDecideMsg decide;
+    decide.view = {3, {0, 1}};
+    expectAllPrefixesRejected(stampEnvelope(decide));
+
+    net::ClientRequestMsg req;
+    req.value = "v";
+    req.expected = "e";
+    expectAllPrefixesRejected(stampEnvelope(req));
+
+    net::ClientReplyMsg reply;
+    reply.value = "v";
+    expectAllPrefixesRejected(stampEnvelope(reply));
+}
+
+} // namespace
+} // namespace hermes

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Shared SimCluster test support: the per-protocol ClusterConfig
+ * factories every suite used to re-declare locally, the fast
+ * reconfiguration-manager timeouts the fault tests rely on, and a
+ * fixture owning a started cluster with automatic teardown.
+ */
+
+#ifndef HERMES_TESTS_SUPPORT_CLUSTER_FIXTURE_HH
+#define HERMES_TESTS_SUPPORT_CLUSTER_FIXTURE_HH
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "app/cluster.hh"
+
+namespace hermes::test
+{
+
+/** Base config for @p nodes replicas of @p protocol, default cost model. */
+inline app::ClusterConfig
+protocolConfig(app::Protocol protocol, size_t nodes)
+{
+    app::ClusterConfig config;
+    config.protocol = protocol;
+    config.nodes = nodes;
+    return config;
+}
+
+inline app::ClusterConfig
+hermesConfig(size_t nodes)
+{
+    return protocolConfig(app::Protocol::Hermes, nodes);
+}
+
+inline app::ClusterConfig
+craqConfig(size_t nodes)
+{
+    return protocolConfig(app::Protocol::Craq, nodes);
+}
+
+inline app::ClusterConfig
+zabConfig(size_t nodes)
+{
+    auto config = protocolConfig(app::Protocol::Zab, nodes);
+    config.cost.multicastOffload = true; // the paper gives rZAB multicast
+    return config;
+}
+
+inline app::ClusterConfig
+lockstepConfig(size_t nodes, size_t batch_cap = 8)
+{
+    auto config = protocolConfig(app::Protocol::Lockstep, nodes);
+    config.replica.lockstepConfig.roundBatchCap = batch_cap;
+    return config;
+}
+
+/**
+ * Enable the reconfiguration manager with timeouts shrunk far below the
+ * production defaults so crash/recovery tests converge in simulated
+ * milliseconds instead of seconds.
+ */
+inline app::ClusterConfig
+withFastRm(app::ClusterConfig config,
+           DurationNs heartbeat = 2_ms,
+           DurationNs failure_timeout = 20_ms,
+           DurationNs lease = 8_ms,
+           DurationNs proposal_retry = 5_ms)
+{
+    config.replica.enableRm = true;
+    config.replica.rmConfig.heartbeatInterval = heartbeat;
+    config.replica.rmConfig.failureTimeout = failure_timeout;
+    config.replica.rmConfig.leaseDuration = lease;
+    config.replica.rmConfig.proposalRetry = proposal_retry;
+    return config;
+}
+
+/**
+ * Fixture owning one (lazily built) started cluster. Suites that need a
+ * differently tuned config per test call makeCluster(); teardown is
+ * automatic and ordered before gtest reports leaks under sanitizers.
+ */
+class ClusterTest : public ::testing::Test
+{
+  protected:
+    app::SimCluster &
+    makeCluster(app::ClusterConfig config)
+    {
+        cluster_ = std::make_unique<app::SimCluster>(std::move(config));
+        cluster_->start();
+        return *cluster_;
+    }
+
+    app::SimCluster &cluster() { return *cluster_; }
+    bool hasCluster() const { return cluster_ != nullptr; }
+
+    void TearDown() override { cluster_.reset(); }
+
+  private:
+    std::unique_ptr<app::SimCluster> cluster_;
+};
+
+} // namespace hermes::test
+
+#endif // HERMES_TESTS_SUPPORT_CLUSTER_FIXTURE_HH
