@@ -13,6 +13,7 @@
 #define HERMES_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,11 +35,12 @@ paperCostModel()
 /** Cluster of @p protocol with the standard bench store sizing. */
 inline app::ClusterConfig
 standardCluster(app::Protocol protocol, size_t nodes,
-                size_t max_value = 64)
+                size_t max_value = 64, size_t shards = 1)
 {
     app::ClusterConfig config;
     config.protocol = protocol;
     config.nodes = nodes;
+    config.shards = shards;
     config.cost = paperCostModel();
     // The paper gives rZAB RDMA multicast for its leader-heavy traffic.
     config.cost.multicastOffload = protocol == app::Protocol::Zab;
@@ -63,31 +65,59 @@ standardDriver(double write_ratio, double zipf_theta = 0.0,
     return config;
 }
 
+/** Run one sharded point: @p shards groups of @p replicas each. */
+inline app::DriverResult
+runShardedPoint(app::Protocol protocol, size_t shards, size_t replicas,
+                const app::DriverConfig &driver_config, uint64_t seed = 1)
+{
+    app::ClusterConfig cluster_config =
+        standardCluster(protocol, replicas, 64, shards);
+    cluster_config.seed = seed;
+    app::SimCluster cluster(cluster_config);
+    cluster.start();
+    app::LoadDriver driver(cluster, driver_config);
+    return driver.run();
+}
+
 /** Run one (protocol, workload) point and return the measurements. */
 inline app::DriverResult
 runPoint(app::Protocol protocol, size_t nodes,
          const app::DriverConfig &driver_config, uint64_t seed = 1)
 {
-    app::ClusterConfig cluster_config = standardCluster(protocol, nodes);
-    cluster_config.seed = seed;
-    app::SimCluster cluster(cluster_config);
-    cluster.start();
-    app::DriverConfig config = driver_config;
-    app::LoadDriver driver(cluster, config);
-    return driver.run();
+    return runShardedPoint(protocol, 1, nodes, driver_config, seed);
 }
 
 // ---- Table printing ----
 
+/**
+ * CSV mode: when HERMES_BENCH_CSV is set, rows come out comma-separated
+ * and headers as '#' comment lines, so the nightly CI job can archive
+ * the figures as machine-diffable CSV artifacts.
+ */
+inline bool
+csvMode()
+{
+    return std::getenv("HERMES_BENCH_CSV") != nullptr;
+}
+
 inline void
 printHeader(const std::string &title)
 {
-    std::printf("\n=== %s ===\n", title.c_str());
+    if (csvMode())
+        std::printf("\n# %s\n", title.c_str());
+    else
+        std::printf("\n=== %s ===\n", title.c_str());
 }
 
 inline void
 printRow(const std::vector<std::string> &cells, int width = 14)
 {
+    if (csvMode()) {
+        for (size_t i = 0; i < cells.size(); ++i)
+            std::printf("%s%s", i ? "," : "", cells[i].c_str());
+        std::printf("\n");
+        return;
+    }
     for (const std::string &cell : cells)
         std::printf("%-*s", width, cell.c_str());
     std::printf("\n");

@@ -6,17 +6,57 @@
 namespace hermes::app
 {
 
-SimCluster::SimCluster(ClusterConfig config) : config_(std::move(config))
+uint32_t
+shardOfKey(Key key, size_t num_shards)
 {
-    runtime_ = std::make_unique<sim::SimRuntime>(config_.nodes,
+    if (num_shards <= 1)
+        return 0;
+    // SplitMix64 over the key: a stable, well-mixed pure function, so
+    // every client and every node computes the same owner with no
+    // coordination. Keys are often small dense integers; the mix spreads
+    // them uniformly over shards.
+    uint64_t state = key;
+    return static_cast<uint32_t>(splitmix64(state) % num_shards);
+}
+
+ShardMap::ShardMap(size_t shards, size_t replicas_per_shard)
+    : replicasPerShard_(replicas_per_shard)
+{
+    hermes_assert(shards > 0 && replicas_per_shard > 0);
+    groups_.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        NodeSet group;
+        for (size_t r = 0; r < replicas_per_shard; ++r)
+            group.push_back(static_cast<NodeId>(s * replicas_per_shard + r));
+        groups_.push_back(std::move(group));
+    }
+}
+
+SimCluster::SimCluster(ClusterConfig config)
+    : config_(std::move(config)),
+      shardMap_(config_.shards ? config_.shards : 1, config_.nodes)
+{
+    runtime_ = std::make_unique<sim::SimRuntime>(shardMap_.totalNodes(),
                                                  config_.cost, config_.seed);
-    membership::MembershipView initial = membership::initialView(
-        config_.initialLive ? config_.initialLive : config_.nodes);
-    for (size_t i = 0; i < config_.nodes; ++i) {
-        auto id = static_cast<NodeId>(i);
-        replicas_.push_back(makeReplica(config_.protocol, runtime_->env(id),
-                                        initial, config_.replica));
-        runtime_->attach(id, replicas_.back().get());
+    size_t live_per_group =
+        config_.initialLive ? config_.initialLive : config_.nodes;
+    for (uint32_t s = 0; s < shardMap_.numShards(); ++s) {
+        NodeId base = shardMap_.baseOf(s);
+        // Each group gets its own membership view over its id block (the
+        // first live_per_group ids; the rest are spares), so RM agents
+        // heartbeat and reconfigure strictly within their shard.
+        membership::MembershipView initial{1, {}};
+        for (size_t i = 0; i < live_per_group; ++i)
+            initial.live.push_back(base + static_cast<NodeId>(i));
+        ReplicaOptions options = config_.replica;
+        options.hermesConfig.nodeBase = base;
+        for (size_t i = 0; i < config_.nodes; ++i) {
+            NodeId id = base + static_cast<NodeId>(i);
+            replicas_.push_back(makeReplica(config_.protocol,
+                                            runtime_->env(id), initial,
+                                            options));
+            runtime_->attach(id, replicas_.back().get());
+        }
     }
 }
 
@@ -30,9 +70,23 @@ SimCluster::start()
     runtime_->runFor(0);
 }
 
+NodeId
+SimCluster::liveNodeOfShard(uint32_t shard, size_t replica_index) const
+{
+    const NodeSet &group = shardMap_.nodesOf(shard);
+    NodeId preferred = group[replica_index % group.size()];
+    if (runtime_->alive(preferred))
+        return preferred;
+    for (NodeId n : group)
+        if (runtime_->alive(n))
+            return n;
+    return kInvalidNode;
+}
+
 void
 SimCluster::read(NodeId node, Key key, ReplicaHandle::ReadCallback cb)
 {
+    hermes_assert(shardMap_.shardOfNode(node) == shardMap_.shardOf(key));
     const sim::CostModel &cost = config_.cost;
     runtime_->submit(node, cost.clientOpNs + cost.kvsOpNs,
                      [this, node, key, cb = std::move(cb)]() mutable {
@@ -44,6 +98,7 @@ void
 SimCluster::write(NodeId node, Key key, Value value,
                   ReplicaHandle::WriteCallback cb)
 {
+    hermes_assert(shardMap_.shardOfNode(node) == shardMap_.shardOf(key));
     const sim::CostModel &cost = config_.cost;
     runtime_->submit(node, cost.clientOpNs + cost.kvsOpNs,
                      [this, node, key, value = std::move(value),
@@ -57,6 +112,7 @@ void
 SimCluster::cas(NodeId node, Key key, Value expected, Value desired,
                 ReplicaHandle::CasCallback cb)
 {
+    hermes_assert(shardMap_.shardOfNode(node) == shardMap_.shardOf(key));
     const sim::CostModel &cost = config_.cost;
     runtime_->submit(node, cost.clientOpNs + cost.kvsOpNs,
                      [this, node, key, expected = std::move(expected),
@@ -106,20 +162,21 @@ SimCluster::casSync(NodeId node, Key key, Value expected, Value desired,
 bool
 SimCluster::converged(Key key) const
 {
-    // Convergence = every live replica agrees on (timestamp, value). A
-    // replica may legitimately still hold the key in a non-Valid state
-    // after quiescence (its VAL was lost): the copy is current — commits
-    // require every live replica's ACK — and the first request there
-    // heals it through a write replay, so data agreement is the invariant.
+    // Convergence = every live replica of the owning shard group agrees
+    // on (timestamp, value). A replica may legitimately still hold the
+    // key in a non-Valid state after quiescence (its VAL was lost): the
+    // copy is current — commits require every live replica's ACK — and
+    // the first request there heals it through a write replay, so data
+    // agreement is the invariant. Other groups never see the key.
     std::optional<store::ReadResult> reference;
-    for (size_t i = 0; i < replicas_.size(); ++i) {
-        if (!runtime_->alive(static_cast<NodeId>(i)))
+    for (NodeId n : shardMap_.nodesOf(shardMap_.shardOf(key))) {
+        if (!runtime_->alive(n))
             continue;
         if (config_.protocol == Protocol::Hermes
-                && replicas_[i]->hermes()->isShadow()) {
+                && replicas_[n]->hermes()->isShadow()) {
             continue; // a catching-up shadow may lag by design
         }
-        store::ReadResult current = replicas_[i]->kvStore().read(key);
+        store::ReadResult current = replicas_[n]->kvStore().read(key);
         if (!reference) {
             reference = current;
             continue;

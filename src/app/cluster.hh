@@ -1,8 +1,15 @@
 /**
  * @file
- * SimCluster: a fully wired simulated deployment — N assembled replicas
- * of one protocol on a SimRuntime — plus the synchronous convenience API
- * the tests and examples use to poke it.
+ * SimCluster: a fully wired simulated deployment — `shards` independent
+ * replica groups of one protocol on a single SimRuntime — plus the
+ * synchronous convenience API the tests and examples use to poke it.
+ *
+ * Sharding (the scale-out layer): the key space is partitioned by a
+ * stable hash into `shards` shards, each served by its own replica group
+ * with its own membership/RM state. Groups never exchange messages;
+ * client operations are routed to the owning group by ShardMap. With
+ * shards == 1 the cluster degenerates to the paper's single Hermes
+ * group, bit-for-bit.
  */
 
 #ifndef HERMES_APP_CLUSTER_HH
@@ -18,15 +25,77 @@
 namespace hermes::app
 {
 
+/**
+ * Stable key → shard hash. A pure function of (key, numShards): the same
+ * on every node and across runs, which is what makes client-side routing
+ * coordination-free.
+ */
+uint32_t shardOfKey(Key key, size_t num_shards);
+
+/**
+ * Key → shard id → replica node-id set. Shard `s` of `S` owns the keys
+ * with shardOfKey(key, S) == s and is served by the contiguous node-id
+ * block [s*R, (s+1)*R) for R replicas per shard. Contiguous blocks keep
+ * global node ids dense (the sim indexes CPUs by id) and make
+ * shard-of-node a division.
+ */
+class ShardMap
+{
+  public:
+    ShardMap(size_t shards, size_t replicas_per_shard);
+
+    size_t numShards() const { return groups_.size(); }
+    size_t replicasPerShard() const { return replicasPerShard_; }
+    size_t totalNodes() const { return groups_.size() * replicasPerShard_; }
+
+    /** The shard owning @p key. */
+    uint32_t
+    shardOf(Key key) const
+    {
+        return shardOfKey(key, groups_.size());
+    }
+
+    /** Global node ids of @p shard 's replica group. */
+    const NodeSet &nodesOf(uint32_t shard) const { return groups_.at(shard); }
+
+    /** First node id of @p shard 's block. */
+    NodeId
+    baseOf(uint32_t shard) const
+    {
+        return static_cast<NodeId>(shard * replicasPerShard_);
+    }
+
+    /** The shard served by @p node. */
+    uint32_t
+    shardOfNode(NodeId node) const
+    {
+        return static_cast<uint32_t>(node / replicasPerShard_);
+    }
+
+    /** Route: the @p replica_index -th replica of @p key 's group. */
+    NodeId
+    nodeFor(Key key, size_t replica_index) const
+    {
+        return nodesOf(shardOf(key)).at(replica_index % replicasPerShard_);
+    }
+
+  private:
+    size_t replicasPerShard_;
+    std::vector<NodeSet> groups_;
+};
+
 /** Everything needed to spin up a simulated deployment. */
 struct ClusterConfig
 {
     Protocol protocol = Protocol::Hermes;
+    /** Replicas per shard group (the paper's replication degree). */
     size_t nodes = 5;
+    /** Independent shard groups; total sim nodes = shards * nodes. */
+    size_t shards = 1;
     /**
-     * Nodes in the initial membership view (0 = all). Extra nodes are
-     * spares: they run but start outside the view, ready to join as
-     * shadow replicas (§3.4 Recovery).
+     * Nodes in the initial membership view of each group (0 = all).
+     * Extra nodes are spares: they run but start outside the view, ready
+     * to join as shadow replicas (§3.4 Recovery).
      */
     size_t initialLive = 0;
     sim::CostModel cost{};
@@ -37,7 +106,8 @@ struct ClusterConfig
 /**
  * A simulated cluster. Client operations are injected through submit(),
  * which charges the node's worker CPU for request decode + KVS access the
- * way the paper's worker threads do.
+ * way the paper's worker threads do. The caller (or routeNode) must pick
+ * a node in the target key's shard group.
  */
 class SimCluster
 {
@@ -54,8 +124,36 @@ class SimCluster
     sim::SimRuntime &runtime() { return *runtime_; }
     ReplicaHandle &replica(NodeId id) { return *replicas_.at(id); }
     size_t numNodes() const { return replicas_.size(); }
+    size_t numShards() const { return shardMap_.numShards(); }
+    size_t replicasPerShard() const { return shardMap_.replicasPerShard(); }
+    const ShardMap &shardMap() const { return shardMap_; }
     const ClusterConfig &config() const { return config_; }
     TimeNs now() const { return runtime_->now(); }
+
+    /** The shard owning @p key. */
+    uint32_t shardOf(Key key) const { return shardMap_.shardOf(key); }
+
+    /** The @p replica_index -th replica of @p key 's shard group. */
+    NodeId
+    routeNode(Key key, size_t replica_index = 0) const
+    {
+        return shardMap_.nodeFor(key, replica_index);
+    }
+
+    /**
+     * Crash-aware routing: the @p replica_index -th replica of @p key 's
+     * group if alive, else the lowest-id live replica of that group
+     * (deterministic client failover), else kInvalidNode when the whole
+     * group is down.
+     */
+    NodeId
+    liveRouteNode(Key key, size_t replica_index = 0) const
+    {
+        return liveNodeOfShard(shardMap_.shardOf(key), replica_index);
+    }
+
+    /** liveRouteNode for a caller that already hashed the key. */
+    NodeId liveNodeOfShard(uint32_t shard, size_t replica_index) const;
 
     /** Crash-stop a node (CPU halted, network severed). */
     void crash(NodeId id) { runtime_->crash(id); }
@@ -85,14 +183,15 @@ class SimCluster
                                 Value desired, DurationNs timeout = 100_ms);
 
     /**
-     * Convergence probe: true when every live replica holds the same
-     * value and timestamp for @p key and no replica has it non-Valid.
-     * Used by the property tests' quiescence assertions.
+     * Convergence probe: true when every live replica of the key's shard
+     * group holds the same value and timestamp for @p key and no replica
+     * has it non-Valid. Used by the property tests' quiescence assertions.
      */
     bool converged(Key key) const;
 
   private:
     ClusterConfig config_;
+    ShardMap shardMap_;
     std::unique_ptr<sim::SimRuntime> runtime_;
     std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
 };

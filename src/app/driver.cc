@@ -7,7 +7,14 @@ namespace hermes::app
 
 struct LoadDriver::Session
 {
-    NodeId node = 0;
+    /**
+     * The replica slot this session prefers within every shard group:
+     * each op is routed to the op's shard, replica `replicaIndex`. In an
+     * unsharded cluster this is simply the session's home node.
+     */
+    size_t replicaIndex = 0;
+    /** The home shard (partitionSessionsByShard only). */
+    uint32_t homeShard = 0;
     uint64_t id = 0;
     Rng rng{0};
     uint64_t nextTag = 0;
@@ -42,7 +49,12 @@ LoadDriver::run()
     for (size_t n = 0; n < nodes; ++n) {
         for (size_t s = 0; s < config_.sessionsPerNode; ++s) {
             auto session = std::make_unique<Session>();
-            session->node = static_cast<NodeId>(n);
+            // One batch of sessions per sim node; each batch prefers its
+            // node's replica slot, so load spreads evenly over every
+            // group's replicas (and total load scales with shard count).
+            session->replicaIndex = n % cluster_.replicasPerShard();
+            session->homeShard =
+                static_cast<uint32_t>(n / cluster_.replicasPerShard());
             session->id = n * config_.sessionsPerNode + s;
             session->rng.reseed(splitmix64(seed_state));
             sessions_.push_back(std::move(session));
@@ -102,12 +114,25 @@ LoadDriver::issueNext(Session &session)
 {
     if (stopped_)
         return; // quiescing: in-flight ops finish, no new ones start
-    if (!cluster_.runtime().alive(session.node))
-        return; // the session's node crashed; the session dies with it
     WorkloadOp op = workload_.next(session.rng);
+    if (config_.partitionSessionsByShard && cluster_.numShards() > 1) {
+        op.key = workload_.nextKeyInShard(session.rng, session.homeShard,
+                                          cluster_.numShards());
+    }
+
+    // Shard routing with deterministic client failover: the op goes to
+    // the preferred replica slot of the key's group, or to the lowest-id
+    // live replica there when that slot has crashed. Only when the whole
+    // group is down does the session die — so one shard's failure never
+    // starves the others of offered load.
+    uint32_t shard = cluster_.shardOf(op.key);
+    NodeId target = cluster_.liveNodeOfShard(shard, session.replicaIndex);
+    if (target == kInvalidNode)
+        return; // the key's whole shard group crashed; the session dies
 
     session.current = HistOp{};
     session.current.key = op.key;
+    session.current.shard = shard;
     session.current.invoke = cluster_.now();
     session.inFlight = true;
     ++issued_;
@@ -115,7 +140,7 @@ LoadDriver::issueNext(Session &session)
     switch (op.kind) {
       case WorkloadOp::Kind::Read:
         session.current.kind = HistOp::Kind::Read;
-        cluster_.read(session.node, op.key,
+        cluster_.read(target, op.key,
                       [this, &session](const Value &v) {
                           session.current.result = v;
                           complete(session);
@@ -125,7 +150,7 @@ LoadDriver::issueNext(Session &session)
         session.current.kind = HistOp::Kind::Write;
         uint64_t tag = (session.id << 32) | ++session.nextTag;
         session.current.arg = workload_.makeValue(tag);
-        cluster_.write(session.node, op.key, session.current.arg,
+        cluster_.write(target, op.key, session.current.arg,
                        [this, &session] { complete(session); });
         break;
       }
@@ -142,7 +167,7 @@ LoadDriver::issueNext(Session &session)
             session.current.expected =
                 workload_.makeValue(session.rng.next());
         }
-        cluster_.cas(session.node, op.key, session.current.expected,
+        cluster_.cas(target, op.key, session.current.expected,
                      session.current.arg,
                      [this, &session](bool applied, const Value &seen) {
                          session.current.casApplied = applied;

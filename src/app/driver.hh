@@ -10,6 +10,11 @@
  * uncommitted write). Total offered load is controlled by the session
  * count; latency/throughput curves (Fig 6a) sweep it.
  *
+ * Sharded clusters: every op is routed to its key's shard group (the
+ * session keeps a preferred replica slot, with deterministic failover to
+ * a live group member on crashes), and history records carry the shard
+ * id so the linearizability check composes shard-by-shard.
+ *
  * The driver measures per-kind latency histograms and windowed
  * throughput, can bucket completions over time (the Fig 9 failure
  * timeline), and can record a complete invocation/response History for
@@ -39,6 +44,16 @@ struct DriverConfig
     DurationNs measure = 100_ms;
     /** Record every completed op for linearizability checking. */
     bool recordHistory = false;
+    /**
+     * Dedicate each node's sessions to that node's own shard (keys drawn
+     * from the shard's slice of the universe). This is the paper's
+     * testbed shape — client threads live on the serving machines — and
+     * is what isolates a shard fault to its own clients: a shared
+     * session pool (the default, routing every op by key hash) stalls
+     * behind one shard's blocked writes and starves the others. No-op
+     * on an unsharded cluster.
+     */
+    bool partitionSessionsByShard = false;
     /**
      * After the measurement window, stop issuing new operations and run
      * the simulation this much longer so in-flight operations drain and

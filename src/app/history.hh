@@ -29,6 +29,8 @@ struct HistOp
 
     Kind kind = Kind::Read;
     Key key = 0;
+    /** The shard the op was routed to (0 in an unsharded cluster). */
+    uint32_t shard = 0;
     Value arg;        ///< write value / CAS desired value
     Value expected;   ///< CAS expected value
     Value result;     ///< read result / CAS observed value
@@ -52,6 +54,14 @@ class History
 
     /** Partition by key (linearizability is compositional; paper §2.2). */
     std::map<Key, std::vector<HistOp>> byKey() const;
+
+    /**
+     * Partition by the recorded shard tag. Shards own disjoint key sets,
+     * so per-shard sub-histories are independent and the checker composes
+     * shard-by-shard (P-compositionality) — each shard's history can be
+     * checked in isolation, allowing much longer recorded runs.
+     */
+    std::map<uint32_t, std::vector<HistOp>> byShard() const;
 
   private:
     std::vector<HistOp> ops_;

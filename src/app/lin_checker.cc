@@ -18,6 +18,15 @@ History::byKey() const
     return grouped;
 }
 
+std::map<uint32_t, std::vector<HistOp>>
+History::byShard() const
+{
+    std::map<uint32_t, std::vector<HistOp>> grouped;
+    for (const HistOp &op : ops_)
+        grouped[op.shard].push_back(op);
+    return grouped;
+}
+
 namespace
 {
 
@@ -254,6 +263,26 @@ checkHistory(const History &history, size_t state_budget)
                                : "state budget exhausted");
         if (result == LinResult::Violation)
             return report; // violations dominate inconclusive results
+    }
+    return report;
+}
+
+LinReport
+checkShardedHistory(const History &history, size_t state_budget)
+{
+    LinReport report;
+    for (auto &[shard, ops] : history.byShard()) {
+        History sub;
+        for (const HistOp &op : ops)
+            sub.add(op);
+        LinReport shard_report = checkHistory(sub, state_budget);
+        if (shard_report.ok())
+            continue;
+        shard_report.detail = "shard " + std::to_string(shard) + ": "
+                              + shard_report.detail;
+        if (shard_report.result == LinResult::Violation)
+            return shard_report;
+        report = shard_report; // remember an inconclusive shard, keep going
     }
     return report;
 }

@@ -55,6 +55,15 @@ LinResult checkKeyHistory(const std::vector<HistOp> &ops,
 LinReport checkHistory(const History &history,
                        size_t state_budget = 1u << 22);
 
+/**
+ * Check a sharded history shard-by-shard (P-compositionality): shards
+ * own disjoint key sets, so the composed history is linearizable iff
+ * every shard's sub-history (selected by HistOp::shard) is. Reports the
+ * first violating shard, else the last inconclusive one.
+ */
+LinReport checkShardedHistory(const History &history,
+                              size_t state_budget = 1u << 22);
+
 } // namespace hermes::app
 
 #endif // HERMES_APP_LIN_CHECKER_HH

@@ -10,22 +10,22 @@ namespace
 
 const ProtocolTraits kHermesTraits{
     "HermesKV", true, "one per RM", "Lin", "inter-key", "1 RTT",
-    true, true, false,
+    true, true, false, true,
 };
 
 const ProtocolTraits kCraqTraits{
     "rCRAQ", true, "one per RM", "Lin", "inter-key", "O(n) RTT",
-    false, false, false,
+    false, false, false, true,
 };
 
 const ProtocolTraits kZabTraits{
     "rZAB", true, "none", "SC", "serializes all", "2 RTT",
-    false, false, true,
+    false, false, true, true,
 };
 
 const ProtocolTraits kLockstepTraits{
     "Derecho-like", true, "none", "SC", "serializes all", "lock-step",
-    true, false, true,
+    true, false, true, true,
 };
 
 } // namespace

@@ -40,6 +40,14 @@ struct ProtocolTraits
      * this flag. Lin protocols get it for free from their commit points.
      */
     bool readsWaitForSessionWrites;
+    /**
+     * The protocol runs as one group per shard under key-space
+     * partitioning (SimCluster's scale-out layer): all of its state,
+     * leadership and membership are group-local, so disjoint groups
+     * compose without cross-shard traffic. True for every shipped
+     * protocol; a future cross-key-transactional protocol would clear it.
+     */
+    bool shardable;
 };
 
 /** @return the trait row for @p protocol. */

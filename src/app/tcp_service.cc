@@ -1,5 +1,6 @@
 #include "app/tcp_service.hh"
 
+#include "app/cluster.hh"
 #include "common/logging.hh"
 
 namespace hermes::app
@@ -53,31 +54,36 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     auto &request = static_cast<ClientRequestMsg &>(*msg);
     ReplicaHandle &replica = *replicas_[node];
     uint64_t req_id = request.reqId;
+    uint32_t shard = request.shard;
 
     switch (request.op) {
       case ClientRequestMsg::Op::Read:
         replica.read(request.key,
-                     [this, node, conn, req_id](const Value &value) {
+                     [this, node, conn, req_id, shard](const Value &value) {
                          ClientReplyMsg reply;
                          reply.reqId = req_id;
+                         reply.shard = shard;
                          reply.value = value;
                          cluster_.replyToClient(node, conn, reply);
                      });
         break;
       case ClientRequestMsg::Op::Write:
         replica.write(request.key, request.value,
-                      [this, node, conn, req_id] {
+                      [this, node, conn, req_id, shard] {
                           ClientReplyMsg reply;
                           reply.reqId = req_id;
+                          reply.shard = shard;
                           cluster_.replyToClient(node, conn, reply);
                       });
         break;
       case ClientRequestMsg::Op::Cas:
         replica.cas(request.key, request.expected, request.value,
-                    [this, node, conn, req_id](bool ok, const Value &seen) {
+                    [this, node, conn, req_id,
+                     shard](bool ok, const Value &seen) {
                         ClientReplyMsg reply;
                         reply.reqId = req_id;
                         reply.ok = ok;
+                        reply.shard = shard;
                         reply.value = seen;
                         cluster_.replyToClient(node, conn, reply);
                     });
@@ -92,6 +98,7 @@ KvClient::read(Key key, DurationNs timeout)
     request.op = ClientRequestMsg::Op::Read;
     request.reqId = nextReqId_++;
     request.key = key;
+    request.shard = shardOfKey(key, numShards_);
     auto reply = client_.call(request, timeout);
     if (!reply || reply->type() != net::MsgType::ClientReply)
         return std::nullopt;
@@ -105,6 +112,7 @@ KvClient::write(Key key, Value value, DurationNs timeout)
     request.op = ClientRequestMsg::Op::Write;
     request.reqId = nextReqId_++;
     request.key = key;
+    request.shard = shardOfKey(key, numShards_);
     request.value = std::move(value);
     auto reply = client_.call(request, timeout);
     return reply && reply->type() == net::MsgType::ClientReply;
@@ -117,6 +125,7 @@ KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
     request.op = ClientRequestMsg::Op::Cas;
     request.reqId = nextReqId_++;
     request.key = key;
+    request.shard = shardOfKey(key, numShards_);
     request.value = std::move(desired);
     request.expected = std::move(expected);
     auto reply = client_.call(request, timeout);

@@ -61,11 +61,17 @@ class TcpKvService
 /**
  * Synchronous KV client for a TcpKvService replica: read/write/cas with
  * blocking calls, as an application would use the service.
+ *
+ * A sharded deployment's client is constructed with the shard count; it
+ * stamps every request with the key's shard id (the stable shardOfKey
+ * hash) so the service can reject requests routed with a stale map.
  */
 class KvClient
 {
   public:
-    explicit KvClient(uint16_t port) : client_(port) {}
+    explicit KvClient(uint16_t port, size_t num_shards = 1)
+        : client_(port), numShards_(num_shards)
+    {}
 
     bool connected() const { return client_.connected(); }
 
@@ -81,6 +87,7 @@ class KvClient
 
   private:
     net::TcpClient client_;
+    size_t numShards_ = 1;
     uint64_t nextReqId_ = 1;
 };
 

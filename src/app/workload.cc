@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "app/cluster.hh"
 #include "common/logging.hh"
 
 namespace hermes::app
@@ -21,6 +22,24 @@ Workload::nextKey(Rng &rng) const
     if (zipf_)
         return zipf_->next(rng);
     return rng.nextBounded(config_.numKeys);
+}
+
+Key
+Workload::nextKeyInShard(Rng &rng, uint32_t shard, size_t num_shards) const
+{
+    hermes_assert(num_shards > 0 && shard < num_shards);
+    // Rejection sampling preserves the configured distribution within
+    // the shard. Expected num_shards draws per key; the hash spreads
+    // keys evenly, so the loop terminates fast for any sane key universe
+    // (asserted rather than risked: a universe with no key in the shard
+    // would spin forever).
+    for (int attempt = 0; attempt < 100000; ++attempt) {
+        Key key = nextKey(rng);
+        if (shardOfKey(key, num_shards) == shard)
+            return key;
+    }
+    panic("no key of %zu maps to shard %u/%zu", size_t(config_.numKeys),
+          shard, num_shards);
 }
 
 WorkloadOp

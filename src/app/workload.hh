@@ -57,6 +57,13 @@ class Workload
     Key nextKey(Rng &rng) const;
 
     /**
+     * Draw a key owned by @p shard of @p num_shards (rejection sampling
+     * over the configured distribution). Used by tests and benches that
+     * aim load at one shard of a partitioned cluster.
+     */
+    Key nextKeyInShard(Rng &rng, uint32_t shard, size_t num_shards) const;
+
+    /**
      * Build a value of the configured size whose prefix encodes @p tag —
      * unique tags per written value are what lets the linearizability
      * checker match reads to writes.

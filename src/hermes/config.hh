@@ -69,6 +69,14 @@ struct HermesConfig
 
     /** Total physical nodes (needed to lay out the virtual id space). */
     unsigned numNodes = 0;
+
+    /**
+     * First physical node id of this replica's group. Shard groups place
+     * their replicas on a contiguous id block [nodeBase, nodeBase +
+     * group size); cids are kept relative to this base so the cid ↔
+     * physical-node mapping stays a modulo. 0 for a single group.
+     */
+    unsigned nodeBase = 0;
 };
 
 } // namespace hermes::proto

@@ -156,12 +156,15 @@ HermesReplica::cas(Key key, Value expected, Value desired, CasCallback cb)
 uint32_t
 HermesReplica::pickCid()
 {
+    // Cids are group-relative (self - nodeBase) so sharded groups on a
+    // non-zero id block keep the modulo mapping of physicalOf().
+    uint32_t rank = env_.self() - config_.nodeBase;
     if (config_.virtualIdsPerNode <= 1)
-        return env_.self();
-    // O2: vid = k*N + self keeps virtual ids disjoint across nodes while
+        return rank;
+    // O2: vid = k*N + rank keeps virtual ids disjoint across nodes while
     // spreading each node's ids uniformly over the tie-break space.
     uint64_t k = env_.rng().nextBounded(config_.virtualIdsPerNode);
-    return static_cast<uint32_t>(k * config_.numNodes + env_.self());
+    return static_cast<uint32_t>(k * config_.numNodes + rank);
 }
 
 void
@@ -522,7 +525,7 @@ HermesReplica::recordAck(Key key, Timestamp ts, NodeId from)
 NodeId
 HermesReplica::physicalOf(uint32_t cid) const
 {
-    return cid % config_.numNodes;
+    return config_.nodeBase + cid % config_.numNodes;
 }
 
 // ---------------------------------------------------------------------

@@ -11,6 +11,7 @@ registerClientCodecs()
         msg->op = static_cast<ClientRequestMsg::Op>(reader.getU8());
         msg->reqId = reader.getU64();
         msg->key = reader.getU64();
+        msg->shard = reader.getU32();
         msg->value = reader.getString();
         msg->expected = reader.getString();
         return msg;
@@ -19,6 +20,7 @@ registerClientCodecs()
         auto msg = std::make_shared<ClientReplyMsg>();
         msg->reqId = reader.getU64();
         msg->ok = reader.getU8() != 0;
+        msg->shard = reader.getU32();
         msg->value = reader.getString();
         return msg;
     });

@@ -23,12 +23,19 @@ struct ClientRequestMsg : Message
     Op op = Op::Read;
     uint64_t reqId = 0;
     Key key = 0;
+    /**
+     * Shard the client routed this key to (shardOfKey over the client's
+     * configured shard count; 0 when unsharded). Lets a sharded service
+     * detect a client with a stale shard map instead of silently serving
+     * the key from the wrong group, and is echoed in the reply.
+     */
+    uint32_t shard = 0;
     Value value;    ///< write value / CAS desired
     Value expected; ///< CAS expected
 
     size_t payloadSize() const override
     {
-        return 1 + 8 + 8 + 4 + value.size() + 4 + expected.size();
+        return 1 + 8 + 8 + 4 + 4 + value.size() + 4 + expected.size();
     }
 
     void
@@ -37,6 +44,7 @@ struct ClientRequestMsg : Message
         writer.putU8(static_cast<uint8_t>(op));
         writer.putU64(reqId);
         writer.putU64(key);
+        writer.putU32(shard);
         writer.putString(value);
         writer.putString(expected);
     }
@@ -49,15 +57,21 @@ struct ClientReplyMsg : Message
 
     uint64_t reqId = 0;
     bool ok = true;  ///< CAS: applied; read/write: always true
+    /** Echo of the request's shard id (client-side routing check). */
+    uint32_t shard = 0;
     Value value;     ///< read result / CAS observed value
 
-    size_t payloadSize() const override { return 8 + 1 + 4 + value.size(); }
+    size_t payloadSize() const override
+    {
+        return 8 + 1 + 4 + 4 + value.size();
+    }
 
     void
     serializePayload(BufWriter &writer) const override
     {
         writer.putU64(reqId);
         writer.putU8(ok ? 1 : 0);
+        writer.putU32(shard);
         writer.putString(value);
     }
 };

@@ -268,23 +268,47 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     req.op = net::ClientRequestMsg::Op::Cas;
     req.reqId = 42;
     req.key = 11;
+    req.shard = 6;
     req.value = "desired";
     req.expected = "expected";
     auto outReq = roundTrip(stampEnvelope(req));
     EXPECT_EQ(outReq.op, net::ClientRequestMsg::Op::Cas);
     EXPECT_EQ(outReq.reqId, 42u);
     EXPECT_EQ(outReq.key, 11u);
+    EXPECT_EQ(outReq.shard, 6u);
     EXPECT_EQ(outReq.value, "desired");
     EXPECT_EQ(outReq.expected, "expected");
 
     net::ClientReplyMsg reply;
     reply.reqId = 42;
     reply.ok = false;
+    reply.shard = 6;
     reply.value = "observed";
     auto outReply = roundTrip(stampEnvelope(reply));
     EXPECT_EQ(outReply.reqId, 42u);
     EXPECT_FALSE(outReply.ok);
+    EXPECT_EQ(outReply.shard, 6u);
     EXPECT_EQ(outReply.value, "observed");
+}
+
+TEST(WireRoundTrip, ClientShardIdExtremesSurvive)
+{
+    // The shard id is a full u32 on the wire: boundary values must
+    // round-trip exactly (a truncated encoding would alias shard routes).
+    registerAllCodecs();
+    for (uint32_t shard : {0u, 1u, 4096u, 0xFFFFFFFFu}) {
+        net::ClientRequestMsg req;
+        req.op = net::ClientRequestMsg::Op::Read;
+        req.reqId = 7;
+        req.key = 99;
+        req.shard = shard;
+        EXPECT_EQ(roundTrip(stampEnvelope(req)).shard, shard);
+
+        net::ClientReplyMsg reply;
+        reply.reqId = 7;
+        reply.shard = shard;
+        EXPECT_EQ(roundTrip(stampEnvelope(reply)).shard, shard);
+    }
 }
 
 TEST(WireTruncation, EveryPrefixOfEveryMessageIsRejected)
@@ -339,11 +363,13 @@ TEST(WireTruncation, EveryPrefixOfEveryMessageIsRejected)
     expectAllPrefixesRejected(stampEnvelope(decide));
 
     net::ClientRequestMsg req;
+    req.shard = 3;
     req.value = "v";
     req.expected = "e";
     expectAllPrefixesRejected(stampEnvelope(req));
 
     net::ClientReplyMsg reply;
+    reply.shard = 3;
     reply.value = "v";
     expectAllPrefixesRejected(stampEnvelope(reply));
 }

@@ -57,6 +57,17 @@ lockstepConfig(size_t nodes, size_t batch_cap = 8)
     return config;
 }
 
+/** @p shards independent groups of @p replicas each (key-hash routed). */
+inline app::ClusterConfig
+shardedConfig(app::Protocol protocol, size_t shards, size_t replicas)
+{
+    auto config = protocolConfig(protocol, replicas);
+    config.shards = shards;
+    if (protocol == app::Protocol::Zab)
+        config.cost.multicastOffload = true;
+    return config;
+}
+
 /**
  * Enable the reconfiguration manager with timeouts shrunk far below the
  * production defaults so crash/recovery tests converge in simulated
