@@ -48,7 +48,9 @@ main()
 {
     std::printf("Figure 5: throughput (MReq/s) vs write ratio "
                 "[5 nodes, 32B values, 100k keys]\n"
-                "(row 0%% = the read-only parity point of section 6.1)\n");
+                "(row 0%% = the read-only parity point of section 6.1; "
+                "per-peer batching on at the cost model's default "
+                "window, cf. bench_ablation_opts for the on/off sweep)\n");
     sweep("Figure 5a: uniform", 0.0);
     sweep("Figure 5b: skewed (zipf 0.99)", 0.99);
     return 0;

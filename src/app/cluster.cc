@@ -50,6 +50,9 @@ SimCluster::SimCluster(ClusterConfig config)
             initial.live.push_back(base + static_cast<NodeId>(i));
         ReplicaOptions options = config_.replica;
         options.hermesConfig.nodeBase = base;
+        // Batching policy follows the cost model's knobs so one config
+        // drives both the coalescing behavior and its charged costs.
+        options.batch = config_.cost.batchPolicy();
         for (size_t i = 0; i < config_.nodes; ++i) {
             NodeId id = base + static_cast<NodeId>(i);
             replicas_.push_back(makeReplica(config_.protocol,

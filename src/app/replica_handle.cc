@@ -11,6 +11,11 @@ ReplicaHandle::ReplicaHandle(net::Env &env, const ReplicaOptions &options,
                              MembershipView initial)
     : env_(env), store_(options.storeCapacity, options.maxValueSize)
 {
+    // The protocol engine's data path coalesces per peer; the RM agent
+    // below deliberately keeps the raw env so heartbeats and m-update
+    // rounds never wait out a batching window.
+    if (options.batch.enabled())
+        batcher_ = std::make_unique<net::Batcher>(env, options.batch);
     if (options.enableRm)
         rm_ = std::make_unique<membership::RmNode>(env, std::move(initial),
                                                    options.rmConfig);
@@ -73,7 +78,7 @@ class HermesHandle : public HandleBase<proto::HermesReplica>
         : HandleBase(env, options, initial)
     {
         engine_ = std::make_unique<proto::HermesReplica>(
-            env, store_, initial, options.hermesConfig);
+            protoEnv(), store_, initial, options.hermesConfig);
         if (rm_) {
             engine_->setOperationalCheck(
                 [rm = rm_.get()] { return rm->operational(); });
@@ -121,7 +126,8 @@ class CraqHandle : public HandleBase<craq::CraqReplica>
                const ReplicaOptions &options)
         : HandleBase(env, options, initial)
     {
-        engine_ = std::make_unique<craq::CraqReplica>(env, store_, initial);
+        engine_ = std::make_unique<craq::CraqReplica>(protoEnv(), store_,
+                                                      initial);
     }
 
     void
@@ -158,7 +164,8 @@ class ZabHandle : public HandleBase<zab::ZabReplica>
               const ReplicaOptions &options)
         : HandleBase(env, options, initial)
     {
-        engine_ = std::make_unique<zab::ZabReplica>(env, store_, initial);
+        engine_ = std::make_unique<zab::ZabReplica>(protoEnv(), store_,
+                                                    initial);
     }
 
     void
@@ -196,7 +203,7 @@ class LockstepHandle : public HandleBase<lockstep::LockstepReplica>
         : HandleBase(env, options, initial)
     {
         engine_ = std::make_unique<lockstep::LockstepReplica>(
-            env, store_, initial, options.lockstepConfig);
+            protoEnv(), store_, initial, options.lockstepConfig);
     }
 
     void

@@ -22,6 +22,7 @@
 #include "baselines/zab/replica.hh"
 #include "hermes/replica.hh"
 #include "membership/rm_node.hh"
+#include "net/batcher.hh"
 #include "net/env.hh"
 #include "store/kvs.hh"
 
@@ -37,6 +38,14 @@ struct ReplicaOptions
     membership::RmConfig rmConfig{};
     proto::HermesConfig hermesConfig{};  ///< protocol == Hermes only
     lockstep::LockstepConfig lockstepConfig{}; ///< protocol == Lockstep
+    /**
+     * Per-peer coalescing of the protocol engine's data-path traffic
+     * (INV/ACK/VAL, chain writes, proposes/acks/rounds). RM/membership
+     * traffic always bypasses the batcher: failure-detection latency must
+     * not ride behind a coalescing window. Disabled (non-positive caps)
+     * = the engine sends on the raw transport Env.
+     */
+    net::BatchPolicy batch{};
 };
 
 /**
@@ -77,6 +86,9 @@ class ReplicaHandle : public net::Node
     virtual zab::ZabReplica *zab() { return nullptr; }
     virtual lockstep::LockstepReplica *lockstep() { return nullptr; }
 
+    /** The engine's coalescing layer; nullptr when batching is off. */
+    net::Batcher *batcher() { return batcher_.get(); }
+
   protected:
     ReplicaHandle(net::Env &env, const ReplicaOptions &options,
                   membership::MembershipView initial);
@@ -84,8 +96,12 @@ class ReplicaHandle : public net::Node
     /** Route one message to RM or the protocol engine. */
     bool routeRm(const net::MessagePtr &msg);
 
+    /** The Env the protocol engine sends on (batched when configured). */
+    net::Env &protoEnv() { return batcher_ ? *batcher_ : env_; }
+
     net::Env &env_;
     store::KvStore store_;
+    std::unique_ptr<net::Batcher> batcher_; ///< before rm_: RM stays raw
     std::unique_ptr<membership::RmNode> rm_;
 };
 

@@ -10,8 +10,10 @@ using net::ClientReplyMsg;
 using net::ClientRequestMsg;
 
 TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
-                           ReplicaOptions options, net::TcpConfig config)
-    : cluster_(nodes, config)
+                           ReplicaOptions options, net::TcpConfig config,
+                           size_t num_shards, uint32_t shard_id)
+    : cluster_(nodes, config), numShards_(num_shards ? num_shards : 1),
+      shardId_(shard_id)
 {
     net::registerClientCodecs();
     membership::MembershipView initial = membership::initialView(nodes);
@@ -56,6 +58,22 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     uint64_t req_id = request.reqId;
     uint32_t shard = request.shard;
 
+    // Shard-map agreement check: the stamp must name this group's shard
+    // AND the key must hash there under this group's map. A client with a
+    // stale map (different shard count, or routed to the wrong group)
+    // gets an explicit rejection — silently serving the key here would
+    // split its history across groups.
+    if (shard != shardId_
+            || shardOfKey(request.key, numShards_) != shardId_) {
+        ClientReplyMsg reply;
+        reply.reqId = req_id;
+        reply.shard = shard;
+        reply.ok = false;
+        reply.status = ClientReplyMsg::Status::WrongShard;
+        cluster_.replyToClient(node, conn, reply);
+        return;
+    }
+
     switch (request.op) {
       case ClientRequestMsg::Op::Read:
         replica.read(request.key,
@@ -95,6 +113,7 @@ std::optional<Value>
 KvClient::read(Key key, DurationNs timeout)
 {
     ClientRequestMsg request;
+    lastStatus_ = ClientReplyMsg::Status::Ok;
     request.op = ClientRequestMsg::Op::Read;
     request.reqId = nextReqId_++;
     request.key = key;
@@ -102,26 +121,35 @@ KvClient::read(Key key, DurationNs timeout)
     auto reply = client_.call(request, timeout);
     if (!reply || reply->type() != net::MsgType::ClientReply)
         return std::nullopt;
-    return static_cast<ClientReplyMsg &>(*reply).value;
+    auto &r = static_cast<ClientReplyMsg &>(*reply);
+    lastStatus_ = r.status;
+    if (r.status != ClientReplyMsg::Status::Ok)
+        return std::nullopt;
+    return r.value;
 }
 
 bool
 KvClient::write(Key key, Value value, DurationNs timeout)
 {
     ClientRequestMsg request;
+    lastStatus_ = ClientReplyMsg::Status::Ok;
     request.op = ClientRequestMsg::Op::Write;
     request.reqId = nextReqId_++;
     request.key = key;
     request.shard = shardOfKey(key, numShards_);
     request.value = std::move(value);
     auto reply = client_.call(request, timeout);
-    return reply && reply->type() == net::MsgType::ClientReply;
+    if (!reply || reply->type() != net::MsgType::ClientReply)
+        return false;
+    lastStatus_ = static_cast<ClientReplyMsg &>(*reply).status;
+    return lastStatus_ == ClientReplyMsg::Status::Ok;
 }
 
 std::optional<bool>
 KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
 {
     ClientRequestMsg request;
+    lastStatus_ = ClientReplyMsg::Status::Ok;
     request.op = ClientRequestMsg::Op::Cas;
     request.reqId = nextReqId_++;
     request.key = key;
@@ -131,7 +159,11 @@ KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
     auto reply = client_.call(request, timeout);
     if (!reply || reply->type() != net::MsgType::ClientReply)
         return std::nullopt;
-    return static_cast<ClientReplyMsg &>(*reply).ok;
+    auto &r = static_cast<ClientReplyMsg &>(*reply);
+    lastStatus_ = r.status;
+    if (r.status != ClientReplyMsg::Status::Ok)
+        return std::nullopt;
+    return r.ok;
 }
 
 } // namespace hermes::app

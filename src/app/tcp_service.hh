@@ -25,13 +25,23 @@ class TcpKvService
 {
   public:
     /**
-     * @param protocol  replication protocol to deploy
-     * @param nodes     replica count
-     * @param options   store/RM/protocol options
-     * @param config    TCP transport knobs (base port!)
+     * @param protocol   replication protocol to deploy
+     * @param nodes      replica count
+     * @param options    store/RM/protocol options
+     * @param config     TCP transport knobs (base port!)
+     * @param num_shards shard count of the deployment's map (the service
+     *                   runs ONE replica group, serving shard @p shard_id
+     *                   of that map; 1/0 = the unsharded deployment)
+     * @param shard_id   which shard this group serves
+     *
+     * Requests whose shard stamp disagrees with (num_shards, shard_id) —
+     * a client routing with a stale map — are rejected with an explicit
+     * ClientReplyMsg::Status::WrongShard instead of silently served from
+     * the wrong group.
      */
     TcpKvService(Protocol protocol, size_t nodes, ReplicaOptions options,
-                 net::TcpConfig config = {});
+                 net::TcpConfig config = {}, size_t num_shards = 1,
+                 uint32_t shard_id = 0);
     ~TcpKvService();
 
     /** Bind, mesh-connect, start protocol engines and client handlers. */
@@ -56,6 +66,8 @@ class TcpKvService
 
     net::TcpCluster cluster_;
     std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
+    size_t numShards_;
+    uint32_t shardId_;
 };
 
 /**
@@ -85,10 +97,19 @@ class KvClient
     std::optional<bool> cas(Key key, Value expected, Value desired,
                             DurationNs timeout = 5_s);
 
+    /**
+     * Status of the last completed call: distinguishes a WrongShard
+     * rejection (stale client shard map; re-route after a map refresh)
+     * from a genuine timeout/failure.
+     */
+    net::ClientReplyMsg::Status lastStatus() const { return lastStatus_; }
+
   private:
     net::TcpClient client_;
     size_t numShards_ = 1;
     uint64_t nextReqId_ = 1;
+    net::ClientReplyMsg::Status lastStatus_ =
+        net::ClientReplyMsg::Status::Ok;
 };
 
 } // namespace hermes::app

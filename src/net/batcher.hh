@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Per-peer message batching with amortized doorbell costs — the software
+ * analogue of Wings posting a broadcast as a linked list of work requests
+ * sharing one doorbell (paper §4.2).
+ *
+ * The Batcher is an Env decorator: protocol engines send through it
+ * unchanged, and sends produced within one bounded window accumulate per
+ * destination. The window is fully deterministic — no wall-clock timers:
+ * it closes when the transport reaches its poll/job boundary and calls
+ * Env::flush() (the Batcher hooks the underlying Env via setFlushHook),
+ * or earlier when a destination's queue hits the maxBatchMsgs /
+ * maxBatchBytes cap. Each flush emits one MsgBatch envelope per
+ * destination, so the per-message fixed costs (send posting, recv
+ * dispatch, one syscall per message on TCP) are paid once per batch plus
+ * a small per-message marginal — see CostModel::batchedSendCost().
+ *
+ * Membership/RM traffic must NOT go through a Batcher: failure-detection
+ * latency would otherwise ride behind data-path coalescing windows. The
+ * ReplicaHandle wires protocol engines to the Batcher and the RM agent
+ * to the raw Env.
+ */
+
+#ifndef HERMES_NET_BATCHER_HH
+#define HERMES_NET_BATCHER_HH
+
+#include <map>
+#include <vector>
+
+#include "net/env.hh"
+#include "net/message.hh"
+
+namespace hermes::net
+{
+
+/**
+ * Deterministic coalescing policy. The caps are signed on purpose: any
+ * non-positive value (or maxBatchMsgs <= 1) disables batching entirely
+ * and the Batcher degenerates to a transparent pass-through — a
+ * misconfigured knob must fall back to the unbatched path, never wrap
+ * around to a huge unsigned window.
+ */
+struct BatchPolicy
+{
+    /**
+     * Max messages coalesced per destination; <= 1 disables batching.
+     * The Batcher clamps values above 65535 (the wire count is a u16).
+     */
+    int maxBatchMsgs = 16;
+    /** Max wire bytes coalesced per destination; <= 0 disables batching. */
+    long maxBatchBytes = 16384;
+    /**
+     * Route broadcasts through the per-peer batches too. Disable when
+     * the transport has genuine multicast offload (the cost model's
+     * multicastOffload, paper §5.1.1 rZAB): hardware multicast already
+     * amortizes the fan-out better than software batching can.
+     */
+    bool batchBroadcasts = true;
+
+    /** True when the knobs describe a usable batching window. */
+    bool enabled() const { return maxBatchMsgs > 1 && maxBatchBytes > 0; }
+};
+
+/**
+ * The batch envelope: length-prefixed encoded inner messages, the same
+ * framing the TCP transport's batch frames use. The simulated transport
+ * passes the inner MessagePtrs through by reference and never
+ * serializes; the TCP transport encodes/decodes them like any message.
+ */
+struct BatchMsg : Message
+{
+    BatchMsg() : Message(MsgType::MsgBatch) {}
+
+    std::vector<MessagePtr> msgs;
+
+    size_t
+    payloadSize() const override
+    {
+        // u16 count, then per message a u32 length prefix + the encoded
+        // message (9-byte envelope + payload), mirroring the TCP batch
+        // frame body.
+        size_t size = 2;
+        for (const MessagePtr &msg : msgs)
+            size += 4 + 9 + msg->payloadSize();
+        return size;
+    }
+
+    void serializePayload(BufWriter &writer) const override;
+};
+
+/** Register the BatchMsg decoder (idempotent; rejects nested batches). */
+void registerBatchCodec();
+
+/** Counters exposed to tests and benchmarks. */
+struct BatcherStats
+{
+    uint64_t staged = 0;         ///< messages that entered a window
+    uint64_t passedThrough = 0;  ///< sent directly (batching disabled)
+    uint64_t batchesFlushed = 0; ///< MsgBatch envelopes emitted
+    uint64_t messagesBatched = 0; ///< messages inside those envelopes
+    uint64_t singlesFlushed = 0; ///< windows of one, sent unwrapped
+    uint64_t capFlushes = 0;     ///< flushes forced by a cap, not poll-end
+    uint64_t broadcastsCollapsed = 0; ///< single-msg windows re-fused into
+                                      ///< one underlying broadcast
+};
+
+/**
+ * The coalescing Env decorator. Construct over the transport's Env and
+ * hand it to the protocol engine; everything except send/broadcast
+ * forwards untouched.
+ */
+class Batcher : public Env
+{
+  public:
+    Batcher(Env &under, BatchPolicy policy);
+    ~Batcher() override;
+
+    Batcher(const Batcher &) = delete;
+    Batcher &operator=(const Batcher &) = delete;
+
+    // ---- Env ----
+    NodeId self() const override { return under_.self(); }
+    TimeNs now() const override { return under_.now(); }
+    void send(NodeId dst, MessagePtr msg) override;
+    void broadcast(const NodeSet &dsts, MessagePtr msg) override;
+
+    TimerId
+    setTimer(DurationNs after, std::function<void()> fn) override
+    {
+        return under_.setTimer(after, std::move(fn));
+    }
+
+    void cancelTimer(TimerId id) override { under_.cancelTimer(id); }
+    Rng &rng() override { return under_.rng(); }
+
+    void
+    chargeStoreAccess(unsigned count) override
+    {
+        under_.chargeStoreAccess(count);
+    }
+
+    void chargeCpu(DurationNs ns) override { under_.chargeCpu(ns); }
+
+    /** Close the window: emit every pending destination's batch. */
+    void flush() override;
+
+    // ---- Introspection ----
+    const BatchPolicy &policy() const { return policy_; }
+    const BatcherStats &stats() const { return stats_; }
+    size_t pendingMessages() const;
+
+  private:
+    struct Window
+    {
+        std::vector<MessagePtr> msgs;
+        size_t bytes = 0;
+    };
+
+    void stage(NodeId dst, MessagePtr msg);
+    void emit(NodeId dst, Window &window);
+
+    Env &under_;
+    BatchPolicy policy_;
+    /** Keyed map (not hash) so flush order is deterministic. */
+    std::map<NodeId, Window> pending_;
+    BatcherStats stats_;
+};
+
+} // namespace hermes::net
+
+#endif // HERMES_NET_BATCHER_HH

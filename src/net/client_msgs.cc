@@ -19,6 +19,7 @@ registerClientCodecs()
     registerDecoder(MsgType::ClientReply, [](BufReader &reader) {
         auto msg = std::make_shared<ClientReplyMsg>();
         msg->reqId = reader.getU64();
+        msg->status = static_cast<ClientReplyMsg::Status>(reader.getU8());
         msg->ok = reader.getU8() != 0;
         msg->shard = reader.getU32();
         msg->value = reader.getString();

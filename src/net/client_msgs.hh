@@ -53,9 +53,22 @@ struct ClientRequestMsg : Message
 /** Completion of a client operation. */
 struct ClientReplyMsg : Message
 {
+    /** Why a request was (not) served. */
+    enum class Status : uint8_t
+    {
+        Ok = 0,
+        /**
+         * The request's shard stamp disagrees with the serving group's
+         * shard map: the client routed with a stale map. The op was NOT
+         * executed; the client must refresh its map and re-route.
+         */
+        WrongShard = 1,
+    };
+
     ClientReplyMsg() : Message(MsgType::ClientReply) {}
 
     uint64_t reqId = 0;
+    Status status = Status::Ok;
     bool ok = true;  ///< CAS: applied; read/write: always true
     /** Echo of the request's shard id (client-side routing check). */
     uint32_t shard = 0;
@@ -63,13 +76,14 @@ struct ClientReplyMsg : Message
 
     size_t payloadSize() const override
     {
-        return 8 + 1 + 4 + 4 + value.size();
+        return 8 + 1 + 1 + 4 + 4 + value.size();
     }
 
     void
     serializePayload(BufWriter &writer) const override
     {
         writer.putU64(reqId);
+        writer.putU8(static_cast<uint8_t>(status));
         writer.putU8(ok ? 1 : 0);
         writer.putU32(shard);
         writer.putString(value);

@@ -78,6 +78,31 @@ class Env
      * No-op on the real-network backend, where the cost is real.
      */
     virtual void chargeCpu(DurationNs ns) { (void)ns; }
+
+    /**
+     * Poll-end flush point. Transports call flush() on their own Env at
+     * the end of every poll/job iteration (once all handlers that could
+     * produce sends have run); any coalescing layer stacked on top of
+     * this Env (net::Batcher) registers itself via setFlushHook() and
+     * emits its per-peer batches here. Wings' opportunistic batching
+     * policy (§4.2): coalesce whatever one iteration produced, never
+     * stall to fill a batch.
+     */
+    virtual void
+    flush()
+    {
+        if (flushHook_)
+            flushHook_();
+    }
+
+    /**
+     * Register the stacked coalescing layer's flush. One layer per Env;
+     * re-registering replaces, nullptr clears (Batcher dtor).
+     */
+    void setFlushHook(std::function<void()> fn) { flushHook_ = std::move(fn); }
+
+  private:
+    std::function<void()> flushHook_;
 };
 
 /**

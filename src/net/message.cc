@@ -38,6 +38,7 @@ msgTypeName(MsgType type)
       case MsgType::RmDecide: return "RM_DECIDE";
       case MsgType::ClientRequest: return "CLIENT_REQ";
       case MsgType::ClientReply: return "CLIENT_REP";
+      case MsgType::MsgBatch: return "BATCH";
     }
     return "UNKNOWN";
 }

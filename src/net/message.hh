@@ -71,6 +71,9 @@ enum class MsgType : uint8_t
     // --- Client/server framing for the TCP deployment ---
     ClientRequest = 96,  ///< read/write/RMW from an external client
     ClientReply = 97,    ///< completion back to the client
+
+    // --- Transport-level coalescing (net/batcher.hh, §4.2 Wings) ---
+    MsgBatch = 112,      ///< per-peer batch of protocol messages
 };
 
 /** @return a short mnemonic, e.g. "INV", for traces. */

@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -15,6 +16,7 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "net/batcher.hh"
 
 namespace hermes::net
 {
@@ -446,9 +448,73 @@ class TcpCluster::NodeLoop
             auto it = conns_.find(kv.first);
             if (it == conns_.end())
                 continue;
-            encodeBatchFrame(kv.second, it->second.tx);
+            writeStaged(it->second, kv.second);
             kv.second.clear();
-            tryWrite(it->second);
+        }
+    }
+
+    /**
+     * One writev-style flush: the frame header, the per-message length
+     * prefixes and the staged message bodies gather into a single
+     * syscall, with no intermediate copy into the tx buffer. Falls back
+     * to the copy path when ordering (a backlogged tx) or iovec limits
+     * require it.
+     */
+    void
+    writeStaged(Conn &conn, const std::vector<std::vector<uint8_t>> &messages)
+    {
+        // A pending backlog must drain first to preserve byte order; and
+        // 2 iovecs per message must stay clear of IOV_MAX (1024).
+        if (!conn.tx.empty() || messages.size() > 400) {
+            encodeBatchFrame(messages, conn.tx);
+            tryWrite(conn);
+            return;
+        }
+
+        size_t body = 3; // kind + u16 count
+        for (const auto &m : messages)
+            body += 4 + m.size();
+        uint8_t header[7];
+        auto body32 = static_cast<uint32_t>(body);
+        std::memcpy(header, &body32, 4);
+        header[4] = kFrameBatch;
+        auto count = static_cast<uint16_t>(messages.size());
+        std::memcpy(header + 5, &count, 2);
+
+        std::vector<uint32_t> lens(messages.size());
+        std::vector<iovec> iov;
+        iov.reserve(1 + 2 * messages.size());
+        iov.push_back({header, sizeof(header)});
+        size_t total = sizeof(header);
+        for (size_t i = 0; i < messages.size(); ++i) {
+            lens[i] = static_cast<uint32_t>(messages[i].size());
+            iov.push_back({&lens[i], sizeof(uint32_t)});
+            iov.push_back({const_cast<uint8_t *>(messages[i].data()),
+                           messages[i].size()});
+            total += sizeof(uint32_t) + messages[i].size();
+        }
+
+        ssize_t n = writev(conn.fd, iov.data(), static_cast<int>(iov.size()));
+        if (n < 0) {
+            // Keep the frame queued on any failure (EAGAIN, EINTR, ...):
+            // poll retries it once writable, and a genuinely broken
+            // connection discards tx when the read path closes it —
+            // never silently drop messages between two live peers.
+            encodeBatchFrame(messages, conn.tx);
+            return;
+        }
+        if (static_cast<size_t>(n) == total)
+            return;
+        // Partial write: queue the unwritten tail for poll-driven retry.
+        auto skip = static_cast<size_t>(n);
+        for (const iovec &v : iov) {
+            if (skip >= v.iov_len) {
+                skip -= v.iov_len;
+                continue;
+            }
+            const auto *base = static_cast<const uint8_t *>(v.iov_base);
+            conn.tx.insert(conn.tx.end(), base + skip, base + v.iov_len);
+            skip = 0;
         }
     }
 
@@ -583,8 +649,19 @@ class TcpCluster::NodeLoop
                     conn.recvSinceCredit = 0;
                     tryWrite(conn);
                 }
-                if (node)
+                if (!node)
+                    continue;
+                // A coalesced envelope (net::Batcher) delivers all its
+                // inner protocol messages in order; it consumed one
+                // credit and counts as one frame message, which is the
+                // flow-control amortization it was built for.
+                if (msg->type() == MsgType::MsgBatch) {
+                    const auto &batch = static_cast<const BatchMsg &>(*msg);
+                    for (const MessagePtr &inner : batch.msgs)
+                        node->onMessage(inner);
+                } else {
                     node->onMessage(msg);
+                }
             } else if (clientHandler) {
                 clientHandler(conn.clientId, msg);
             }
@@ -601,6 +678,7 @@ class TcpCluster::NodeLoop
             return;
         if (node)
             node->start();
+        env_.flush();
         flushStaged();
 
         while (!stop_.load()) {
@@ -645,7 +723,11 @@ class TcpCluster::NodeLoop
             fireDueTimers();
 
             // Wings opportunistic batching: everything the handlers above
-            // produced goes out coalesced, once per loop iteration.
+            // produced goes out coalesced, once per loop iteration. The
+            // Env flush first closes any protocol-level coalescing window
+            // (net::Batcher) so its envelopes join this iteration's
+            // staged frames.
+            env_.flush();
             flushStaged();
         }
 
@@ -689,6 +771,9 @@ class TcpCluster::NodeLoop
 
 TcpCluster::TcpCluster(size_t nodes, TcpConfig config) : config_(config)
 {
+    // Peers may deliver coalesced envelopes whether or not this side
+    // runs a Batcher of its own.
+    registerBatchCodec();
     for (size_t i = 0; i < nodes; ++i) {
         loops_.push_back(std::make_unique<NodeLoop>(
             *this, static_cast<NodeId>(i), nodes, config_));

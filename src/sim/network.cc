@@ -1,6 +1,7 @@
 #include "sim/network.hh"
 
 #include "common/logging.hh"
+#include "net/batcher.hh"
 
 namespace hermes::sim
 {
@@ -65,9 +66,38 @@ SimNetwork::send(NodeId src, NodeId dst, net::MessagePtr msg, TimeNs depart)
     ++sent_;
     sentBytes_ += msg->wireSize();
 
-    if (dropFilter_ && dropFilter_(src, dst, msg)) {
-        ++dropped_;
-        return;
+    if (dropFilter_) {
+        // Targeted fault injection sees *protocol* messages: apply the
+        // filter to each inner message of a batch envelope and rebuild
+        // the batch from the survivors, so a test dropping "the first
+        // INV to node 2" keeps working when that INV rides a batch.
+        if (msg->type() == net::MsgType::MsgBatch) {
+            const auto &batch = static_cast<const net::BatchMsg &>(*msg);
+            std::vector<net::MessagePtr> kept;
+            kept.reserve(batch.msgs.size());
+            for (const net::MessagePtr &inner : batch.msgs) {
+                if (dropFilter_(src, dst, inner))
+                    ++dropped_;
+                else
+                    kept.push_back(inner);
+            }
+            if (kept.size() != batch.msgs.size()) {
+                if (kept.empty())
+                    return;
+                if (kept.size() == 1) {
+                    msg = kept.front(); // no point re-wrapping one message
+                } else {
+                    auto rebuilt = std::make_shared<net::BatchMsg>();
+                    rebuilt->msgs = std::move(kept);
+                    rebuilt->src = msg->src;
+                    rebuilt->epoch = msg->epoch;
+                    msg = std::move(rebuilt);
+                }
+            }
+        } else if (dropFilter_(src, dst, msg)) {
+            ++dropped_;
+            return;
+        }
     }
     if (!reachable(src, dst)) {
         ++dropped_;

@@ -1,6 +1,7 @@
 #include "sim/runtime.hh"
 
 #include "common/logging.hh"
+#include "net/batcher.hh"
 
 namespace hermes::sim
 {
@@ -77,6 +78,23 @@ SimRuntime::SimRuntime(size_t nodes, const CostModel &cost, uint64_t seed)
             *this, static_cast<NodeId>(i), mix64(seed + 1 + i)));
     }
     network_.setDeliverFn([this](NodeId dst, net::MessagePtr msg) {
+        // A batch envelope is one network delivery but dispatches all its
+        // inner messages in a single job: one base receive cost plus a
+        // per-message marginal — the receive-side half of the doorbell
+        // amortization (§4.2).
+        if (msg->type() == net::MsgType::MsgBatch) {
+            const auto &batch = static_cast<const net::BatchMsg &>(*msg);
+            DurationNs svc =
+                cost_.batchedRecvCost(msg->wireSize(), batch.msgs.size());
+            submit(dst, svc, [this, dst, msg = std::move(msg)] {
+                if (!nodes_[dst])
+                    return;
+                const auto &b = static_cast<const net::BatchMsg &>(*msg);
+                for (const net::MessagePtr &inner : b.msgs)
+                    nodes_[dst]->onMessage(inner);
+            });
+            return;
+        }
         DurationNs svc = cost_.recvCost(msg->wireSize());
         submit(dst, svc, [this, dst, msg = std::move(msg)] {
             if (nodes_[dst])
@@ -155,6 +173,16 @@ SimRuntime::execJob(NodeId node, Job job, TimeNs exec_time)
 
     job.fn();
 
+    // Poll-end analogue of the simulated worker: when no further job is
+    // queued this busy burst is over, so any coalescing layer stacked on
+    // the node's Env flushes now (its send-posting costs extend this
+    // job's occupancy, below). While jobs remain queued the window stays
+    // open and batches keep filling — bounded by the policy caps — which
+    // is exactly the opportunistic policy: batch under load, never stall
+    // an idle node to fill a batch.
+    if (cpu.queue.empty())
+        envs_[node]->flush();
+
     inJob_ = false;
     DurationNs send_extra = jobSendAccum_;
     cpu.busyNs += job.cost + send_extra;
@@ -186,8 +214,15 @@ SimRuntime::sendFromNode(NodeId src, NodeId dst, net::MessagePtr msg)
 {
     hermes_assert(inJob_ && jobNode_ == src);
     // The message occupies the sender's worker for its posting cost and
-    // departs when its serialization slot ends.
-    jobSendAccum_ += cost_.sendCost(msg->wireSize());
+    // departs when its serialization slot ends. A batch envelope posts
+    // once and its inner messages ride the same doorbell.
+    if (msg->type() == net::MsgType::MsgBatch) {
+        const auto &batch = static_cast<const net::BatchMsg &>(*msg);
+        jobSendAccum_ +=
+            cost_.batchedSendCost(msg->wireSize(), batch.msgs.size());
+    } else {
+        jobSendAccum_ += cost_.sendCost(msg->wireSize());
+    }
     const_cast<net::Message &>(*msg).src = src;
     network_.send(src, dst, std::move(msg), jobExecTime_ + jobSendAccum_);
 }

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Unit tests of the per-peer coalescing layer (net/batcher.hh): window
+ * accumulation and flush boundaries, cap-overflow splitting, degenerate
+ * policies falling back to pass-through, broadcast re-fusion, sender
+ * stamping, and the Env flush-hook plumbing the transports drive.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hermes/messages.hh"
+#include "net/batcher.hh"
+
+namespace hermes
+{
+namespace
+{
+
+using net::BatchMsg;
+using net::Batcher;
+using net::BatchPolicy;
+using net::MessagePtr;
+using net::MsgType;
+
+/** Records every send/broadcast the Batcher emits downstream. */
+class RecordingEnv : public net::Env
+{
+  public:
+    struct Sent
+    {
+        NodeId dst;
+        MessagePtr msg;
+    };
+
+    struct Broadcast
+    {
+        NodeSet dsts;
+        MessagePtr msg;
+    };
+
+    NodeId self() const override { return 7; }
+    TimeNs now() const override { return 0; }
+
+    void
+    send(NodeId dst, MessagePtr msg) override
+    {
+        sends.push_back({dst, std::move(msg)});
+    }
+
+    void
+    broadcast(const NodeSet &dsts, MessagePtr msg) override
+    {
+        broadcasts.push_back({dsts, std::move(msg)});
+    }
+
+    net::TimerId
+    setTimer(DurationNs, std::function<void()>) override
+    {
+        return 0;
+    }
+
+    void cancelTimer(net::TimerId) override {}
+    Rng &rng() override { return rng_; }
+
+    std::vector<Sent> sends;
+    std::vector<Broadcast> broadcasts;
+
+  private:
+    Rng rng_{1};
+};
+
+std::shared_ptr<proto::AckMsg>
+ack(Key key)
+{
+    auto msg = std::make_shared<proto::AckMsg>();
+    msg->key = key;
+    msg->ts = {1, 0};
+    return msg;
+}
+
+TEST(Batcher, SingleMessageFlushesUnwrapped)
+{
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    batcher.send(2, ack(1));
+    EXPECT_TRUE(env.sends.empty()) << "nothing departs before the flush";
+    batcher.flush();
+    ASSERT_EQ(env.sends.size(), 1u);
+    EXPECT_EQ(env.sends[0].dst, 2u);
+    EXPECT_EQ(env.sends[0].msg->type(), MsgType::HermesAck)
+        << "a window of one is sent raw, not wrapped in an envelope";
+    EXPECT_EQ(env.sends[0].msg->src, 7u) << "staging stamps the sender";
+    EXPECT_EQ(batcher.stats().singlesFlushed, 1u);
+}
+
+TEST(Batcher, CoalescesPerDestinationInOrder)
+{
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    batcher.send(1, ack(10));
+    batcher.send(2, ack(20));
+    batcher.send(1, ack(11));
+    batcher.send(1, ack(12));
+    batcher.flush();
+
+    ASSERT_EQ(env.sends.size(), 2u) << "one emission per destination";
+    // std::map order: destination 1 first.
+    ASSERT_EQ(env.sends[0].dst, 1u);
+    ASSERT_EQ(env.sends[0].msg->type(), MsgType::MsgBatch);
+    const auto &batch = static_cast<const BatchMsg &>(*env.sends[0].msg);
+    ASSERT_EQ(batch.msgs.size(), 3u);
+    EXPECT_EQ(static_cast<const proto::AckMsg &>(*batch.msgs[0]).key, 10u);
+    EXPECT_EQ(static_cast<const proto::AckMsg &>(*batch.msgs[1]).key, 11u);
+    EXPECT_EQ(static_cast<const proto::AckMsg &>(*batch.msgs[2]).key, 12u);
+    EXPECT_EQ(env.sends[1].dst, 2u);
+    EXPECT_EQ(env.sends[1].msg->type(), MsgType::HermesAck);
+}
+
+TEST(Batcher, MsgCapSplitsOverflowingWindow)
+{
+    RecordingEnv env;
+    BatchPolicy policy;
+    policy.maxBatchMsgs = 3;
+    Batcher batcher(env, policy);
+    for (Key k = 0; k < 7; ++k)
+        batcher.send(1, ack(k));
+    // Two cap-forced flushes of 3 already departed; one message pends.
+    ASSERT_EQ(env.sends.size(), 2u);
+    for (const auto &sent : env.sends) {
+        const auto &batch = static_cast<const BatchMsg &>(*sent.msg);
+        EXPECT_EQ(batch.msgs.size(), 3u);
+    }
+    EXPECT_EQ(batcher.pendingMessages(), 1u);
+    EXPECT_EQ(batcher.stats().capFlushes, 2u);
+    batcher.flush();
+    ASSERT_EQ(env.sends.size(), 3u);
+    EXPECT_EQ(env.sends[2].msg->type(), MsgType::HermesAck);
+    EXPECT_EQ(batcher.pendingMessages(), 0u);
+}
+
+TEST(Batcher, ByteCapSplitsOverflowingWindow)
+{
+    RecordingEnv env;
+    BatchPolicy policy;
+    policy.maxBatchMsgs = 1000;
+    // An AckMsg is 32 wire bytes; two fit under the cap trigger.
+    policy.maxBatchBytes = 2 * static_cast<long>(ack(0)->wireSize());
+    Batcher batcher(env, policy);
+    batcher.send(1, ack(1));
+    EXPECT_TRUE(env.sends.empty());
+    batcher.send(1, ack(2));
+    ASSERT_EQ(env.sends.size(), 1u) << "byte cap closes the window";
+    EXPECT_EQ(
+        static_cast<const BatchMsg &>(*env.sends[0].msg).msgs.size(), 2u);
+}
+
+TEST(Batcher, EmptyFlushIsANoOp)
+{
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    batcher.flush();
+    batcher.flush();
+    EXPECT_TRUE(env.sends.empty());
+    EXPECT_TRUE(env.broadcasts.empty());
+    EXPECT_EQ(batcher.stats().batchesFlushed, 0u);
+    EXPECT_EQ(batcher.stats().singlesFlushed, 0u);
+}
+
+TEST(Batcher, NonPositiveKnobsFallBackToPassThrough)
+{
+    // The CostModel satellite contract: zero or negative caps must mean
+    // "unbatched", never UB or an unbounded window.
+    for (auto [msgs, bytes] :
+         {std::pair<int, long>{0, 16384}, {-3, 16384}, {1, 16384},
+          {16, 0}, {16, -1}}) {
+        RecordingEnv env;
+        BatchPolicy policy;
+        policy.maxBatchMsgs = msgs;
+        policy.maxBatchBytes = bytes;
+        EXPECT_FALSE(policy.enabled());
+        Batcher batcher(env, policy);
+        batcher.send(1, ack(1));
+        batcher.send(1, ack(2));
+        ASSERT_EQ(env.sends.size(), 2u)
+            << "maxBatchMsgs=" << msgs << " maxBatchBytes=" << bytes;
+        EXPECT_EQ(env.sends[0].msg->type(), MsgType::HermesAck);
+        NodeSet dsts{1, 2, 3};
+        batcher.broadcast(dsts, ack(3));
+        EXPECT_EQ(env.broadcasts.size(), 1u);
+        EXPECT_EQ(batcher.stats().passedThrough, 3u);
+        EXPECT_EQ(batcher.pendingMessages(), 0u);
+    }
+}
+
+TEST(Batcher, LoneBroadcastRefusesIntoOneUnderlyingBroadcast)
+{
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    NodeSet dsts{1, 2, 7, 9}; // includes self (7): excluded at staging
+    auto inv = std::make_shared<proto::InvMsg>();
+    inv->key = 5;
+    batcher.broadcast(dsts, inv);
+    batcher.flush();
+    EXPECT_TRUE(env.sends.empty());
+    ASSERT_EQ(env.broadcasts.size(), 1u)
+        << "idle-window broadcasts keep the transport's shared-payload "
+           "fan-out";
+    EXPECT_EQ(env.broadcasts[0].dsts, (NodeSet{1, 2, 9}));
+    EXPECT_EQ(env.broadcasts[0].msg->type(), MsgType::HermesInv);
+    EXPECT_EQ(batcher.stats().broadcastsCollapsed, 1u);
+}
+
+TEST(Batcher, BroadcastsBatchWhenWindowsAreBusy)
+{
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    NodeSet dsts{1, 2};
+    batcher.broadcast(dsts, ack(1));
+    batcher.broadcast(dsts, ack(2));
+    batcher.flush();
+    EXPECT_TRUE(env.broadcasts.empty());
+    ASSERT_EQ(env.sends.size(), 2u);
+    for (const auto &sent : env.sends) {
+        ASSERT_EQ(sent.msg->type(), MsgType::MsgBatch);
+        EXPECT_EQ(static_cast<const BatchMsg &>(*sent.msg).msgs.size(),
+                  2u);
+    }
+}
+
+TEST(Batcher, BatchBroadcastsOffBypassesStaging)
+{
+    RecordingEnv env;
+    BatchPolicy policy;
+    policy.batchBroadcasts = false; // multicast offload deployments
+    Batcher batcher(env, policy);
+    NodeSet dsts{1, 2, 3};
+    batcher.broadcast(dsts, ack(1));
+    ASSERT_EQ(env.broadcasts.size(), 1u);
+    EXPECT_EQ(batcher.pendingMessages(), 0u);
+    // Unicasts still coalesce.
+    batcher.send(1, ack(2));
+    batcher.send(1, ack(3));
+    batcher.flush();
+    ASSERT_EQ(env.sends.size(), 1u);
+    EXPECT_EQ(env.sends[0].msg->type(), MsgType::MsgBatch);
+}
+
+TEST(Batcher, TransportFlushHookClosesTheWindow)
+{
+    // The transports never know the Batcher exists: they call flush() on
+    // their own Env at every poll boundary and the hook does the rest.
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    batcher.send(3, ack(1));
+    batcher.send(3, ack(2));
+    EXPECT_TRUE(env.sends.empty());
+    env.flush(); // what SimRuntime/TcpCluster invoke at poll-end
+    ASSERT_EQ(env.sends.size(), 1u);
+    EXPECT_EQ(env.sends[0].msg->type(), MsgType::MsgBatch);
+    EXPECT_EQ(batcher.pendingMessages(), 0u);
+}
+
+TEST(Batcher, MixedUnicastAndBroadcastKeepPerPeerOrder)
+{
+    RecordingEnv env;
+    Batcher batcher(env, BatchPolicy{});
+    NodeSet dsts{1, 2};
+    batcher.send(1, ack(100));
+    batcher.broadcast(dsts, ack(200));
+    batcher.flush();
+    // Peer 1 got [100, 200] as a batch; peer 2's lone copy went raw.
+    ASSERT_EQ(env.sends.size(), 2u);
+    ASSERT_EQ(env.sends[0].dst, 1u);
+    const auto &batch = static_cast<const BatchMsg &>(*env.sends[0].msg);
+    ASSERT_EQ(batch.msgs.size(), 2u);
+    EXPECT_EQ(static_cast<const proto::AckMsg &>(*batch.msgs[0]).key,
+              100u);
+    EXPECT_EQ(static_cast<const proto::AckMsg &>(*batch.msgs[1]).key,
+              200u);
+    EXPECT_EQ(env.sends[1].dst, 2u);
+    EXPECT_EQ(env.sends[1].msg->type(), MsgType::HermesAck);
+}
+
+} // namespace
+} // namespace hermes

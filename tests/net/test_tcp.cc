@@ -11,6 +11,7 @@
 #include <atomic>
 #include <thread>
 
+#include "app/cluster.hh"
 #include "app/tcp_service.hh"
 
 namespace hermes
@@ -148,6 +149,60 @@ TEST(TcpCluster, ZabOverTcp)
     ASSERT_TRUE(client.write(3, "zab"));
     // SC reads: the origin replica applied it before replying.
     EXPECT_EQ(client.read(3).value_or("?"), "zab");
+}
+
+TEST(TcpCluster, WrongShardRequestsAreRejectedExplicitly)
+{
+    // A 4-shard deployment's group serving shard `s`: requests stamped
+    // for another shard — a client routing with a stale or different
+    // map — must come back as an explicit WrongShard status, not be
+    // silently served from the wrong group.
+    net::TcpConfig config;
+    config.basePort = freeBasePort(7);
+    const size_t kShards = 4;
+    // Pick keys owned / not owned by shard 0 under the 4-way map.
+    Key owned = 0, foreign = 0;
+    for (Key k = 1; !owned || !foreign; ++k) {
+        if (app::shardOfKey(k, kShards) == 0)
+            owned = owned ? owned : k;
+        else
+            foreign = foreign ? foreign : k;
+    }
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config,
+                         kShards, /*shard_id=*/0);
+    service.start();
+
+    // A client sharing the service's map: owned keys are served, keys it
+    // would route elsewhere are rejected here.
+    KvClient fresh(service.portOf(0), kShards);
+    ASSERT_TRUE(fresh.connected());
+    ASSERT_TRUE(fresh.write(owned, "right-home"));
+    EXPECT_EQ(fresh.lastStatus(), net::ClientReplyMsg::Status::Ok);
+    EXPECT_EQ(fresh.read(owned).value_or("?"), "right-home");
+
+    EXPECT_FALSE(fresh.write(foreign, "lost"));
+    EXPECT_EQ(fresh.lastStatus(),
+              net::ClientReplyMsg::Status::WrongShard);
+    EXPECT_FALSE(fresh.read(foreign).has_value());
+    EXPECT_EQ(fresh.lastStatus(),
+              net::ClientReplyMsg::Status::WrongShard);
+    EXPECT_FALSE(fresh.cas(foreign, "", "x").has_value());
+    EXPECT_EQ(fresh.lastStatus(),
+              net::ClientReplyMsg::Status::WrongShard);
+
+    // A stale client believing the deployment is unsharded stamps
+    // shard 0 for every key; keys that actually live on shard 0 under
+    // the real map still collide correctly, the rest are rejected.
+    KvClient stale(service.portOf(1), /*num_shards=*/1);
+    ASSERT_TRUE(stale.connected());
+    ASSERT_TRUE(stale.write(owned, "still-right"));
+    EXPECT_FALSE(stale.write(foreign, "misrouted"));
+    EXPECT_EQ(stale.lastStatus(),
+              net::ClientReplyMsg::Status::WrongShard);
+
+    // The rejected keys were never applied anywhere in this group.
+    KvClient check(service.portOf(2), kShards);
+    EXPECT_EQ(check.read(owned).value_or("?"), "still-right");
 }
 
 TEST(TcpCluster, SurvivesFollowerKill)

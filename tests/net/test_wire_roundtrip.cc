@@ -10,6 +10,7 @@
 
 #include "hermes/messages.hh"
 #include "membership/messages.hh"
+#include "net/batcher.hh"
 #include "net/client_msgs.hh"
 #include "net/message.hh"
 
@@ -24,6 +25,7 @@ registerAllCodecs()
     proto::registerHermesCodecs();
     membership::registerRmCodecs();
     net::registerClientCodecs();
+    net::registerBatchCodec();
 }
 
 std::vector<uint8_t>
@@ -311,6 +313,68 @@ TEST(WireRoundTrip, ClientShardIdExtremesSurvive)
     }
 }
 
+net::BatchMsg
+sampleBatch()
+{
+    net::BatchMsg batch;
+    auto inv = std::make_shared<proto::InvMsg>();
+    inv->key = 9;
+    inv->ts = {3, 1};
+    inv->value = "batched-value";
+    inv->src = 2;
+    inv->epoch = 4;
+    auto ack = std::make_shared<proto::AckMsg>();
+    ack->key = 9;
+    ack->ts = {3, 1};
+    ack->src = 2;
+    ack->epoch = 4;
+    auto val = std::make_shared<proto::ValMsg>();
+    val->key = 10;
+    val->ts = {7, 0};
+    val->src = 2;
+    val->epoch = 4;
+    batch.msgs = {inv, ack, val};
+    return stampEnvelope(std::move(batch));
+}
+
+TEST(WireRoundTrip, MsgBatch)
+{
+    registerAllCodecs();
+    auto out = roundTrip(sampleBatch());
+    ASSERT_EQ(out.msgs.size(), 3u);
+    const auto &inv = static_cast<const proto::InvMsg &>(*out.msgs[0]);
+    EXPECT_EQ(inv.key, 9u);
+    EXPECT_EQ(inv.ts, (Timestamp{3, 1}));
+    EXPECT_EQ(inv.value, "batched-value");
+    EXPECT_EQ(inv.src, 2u) << "inner envelopes survive the batch framing";
+    EXPECT_EQ(inv.epoch, 4u);
+    EXPECT_EQ(out.msgs[1]->type(), net::MsgType::HermesAck);
+    const auto &val = static_cast<const proto::ValMsg &>(*out.msgs[2]);
+    EXPECT_EQ(val.key, 10u);
+}
+
+TEST(WireRoundTrip, EmptyBatchIsRejected)
+{
+    registerAllCodecs();
+    net::BatchMsg batch; // no sender ever emits an empty envelope
+    auto bytes = encode(stampEnvelope(std::move(batch)));
+    EXPECT_EQ(net::decodeMessage(bytes.data(), bytes.size()), nullptr);
+}
+
+TEST(WireRoundTrip, NestedBatchIsRejected)
+{
+    registerAllCodecs();
+    auto inner = std::make_shared<net::BatchMsg>();
+    auto ack = std::make_shared<proto::AckMsg>();
+    ack->key = 1;
+    inner->msgs = {ack};
+    net::BatchMsg outer;
+    outer.msgs = {inner};
+    auto bytes = encode(stampEnvelope(std::move(outer)));
+    EXPECT_EQ(net::decodeMessage(bytes.data(), bytes.size()), nullptr)
+        << "a batch inside a batch is malformed by construction";
+}
+
 TEST(WireTruncation, EveryPrefixOfEveryMessageIsRejected)
 {
     registerAllCodecs();
@@ -372,6 +436,8 @@ TEST(WireTruncation, EveryPrefixOfEveryMessageIsRejected)
     reply.shard = 3;
     reply.value = "v";
     expectAllPrefixesRejected(stampEnvelope(reply));
+
+    expectAllPrefixesRejected(sampleBatch());
 }
 
 } // namespace

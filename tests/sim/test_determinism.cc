@@ -49,11 +49,13 @@ class SimDeterminism : public test::ClusterTest
     /** One full seeded run: cluster, driver, loss + delay-spike faults. */
     std::pair<std::string, DriverResult>
     runOnce(Protocol protocol, uint64_t cluster_seed, uint64_t driver_seed,
-            double cas_ratio = 0.2, size_t shards = 1)
+            double cas_ratio = 0.2, size_t shards = 1,
+            int max_batch_msgs = sim::CostModel{}.maxBatchMsgs)
     {
         ClusterConfig config = test::protocolConfig(protocol, 3);
         config.shards = shards;
         config.seed = cluster_seed;
+        config.cost.maxBatchMsgs = max_batch_msgs;
         SimCluster &cluster = makeCluster(config);
         cluster.runtime().network().setLossProbability(0.02);
         cluster.runtime().network().setDelaySpike(0.10, 20_us);
@@ -127,6 +129,35 @@ TEST_F(SimDeterminism, ShardedClusterHistoryIsByteIdentical)
         runOnce(Protocol::Hermes, 9, 33, /*cas_ratio=*/0.2, /*shards=*/2);
     (void)other_result;
     EXPECT_NE(first, other);
+}
+
+TEST_F(SimDeterminism, ShardedBatchingHistoryIsByteIdentical)
+{
+    // Per-peer batching (net/batcher.hh) coalesces and flushes on purely
+    // structural triggers — poll/job boundaries and fixed caps, never
+    // wall-clock state — so a seeded sharded run with batching enabled
+    // must stay byte-identical across runs, loss and delay spikes
+    // included (the drop filter reaches inside batch envelopes).
+    auto [first, first_result] = runOnce(Protocol::Hermes, 11, 43,
+                                         /*cas_ratio=*/0.2, /*shards=*/4,
+                                         /*max_batch_msgs=*/16);
+    auto [second, second_result] = runOnce(Protocol::Hermes, 11, 43,
+                                           /*cas_ratio=*/0.2, /*shards=*/4,
+                                           /*max_batch_msgs=*/16);
+
+    ASSERT_GT(first_result.opsTotal, 0u);
+    EXPECT_EQ(first_result.opsTotal, second_result.opsTotal);
+    EXPECT_EQ(first_result.opsInWindow, second_result.opsInWindow);
+    ASSERT_FALSE(first.empty());
+    EXPECT_EQ(first, second);
+
+    // Discriminating power: turning batching off changes send posting
+    // costs and departure times, so the schedule must visibly change.
+    auto [unbatched, unbatched_result] =
+        runOnce(Protocol::Hermes, 11, 43, /*cas_ratio=*/0.2, /*shards=*/4,
+                /*max_batch_msgs=*/0);
+    (void)unbatched_result;
+    EXPECT_NE(first, unbatched);
 }
 
 TEST_F(SimDeterminism, BaselinesAreReproducibleToo)
