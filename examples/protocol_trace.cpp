@@ -36,7 +36,7 @@ traceMessages(app::SimCluster &cluster, bool &enabled)
             if (msg->type() == net::MsgType::HermesInv) {
                 auto &inv = static_cast<const proto::InvMsg &>(*msg);
                 detail = "key=" + std::to_string(inv.key) + " ts="
-                         + inv.ts.toString() + " value='" + inv.value + "'";
+                         + inv.ts.toString() + " value='" + inv.value.str() + "'";
             } else if (msg->type() == net::MsgType::HermesAck) {
                 auto &ack = static_cast<const proto::AckMsg &>(*msg);
                 detail = "key=" + std::to_string(ack.key) + " ts="

@@ -98,7 +98,7 @@ SimCluster::read(NodeId node, Key key, ReplicaHandle::ReadCallback cb)
 }
 
 void
-SimCluster::write(NodeId node, Key key, Value value,
+SimCluster::write(NodeId node, Key key, ValueRef value,
                   ReplicaHandle::WriteCallback cb)
 {
     hermes_assert(shardMap_.shardOfNode(node) == shardMap_.shardOf(key));
@@ -112,7 +112,7 @@ SimCluster::write(NodeId node, Key key, Value value,
 }
 
 void
-SimCluster::cas(NodeId node, Key key, Value expected, Value desired,
+SimCluster::cas(NodeId node, Key key, ValueRef expected, ValueRef desired,
                 ReplicaHandle::CasCallback cb)
 {
     hermes_assert(shardMap_.shardOfNode(node) == shardMap_.shardOf(key));
@@ -139,7 +139,7 @@ SimCluster::readSync(NodeId node, Key key, DurationNs timeout)
 }
 
 bool
-SimCluster::writeSync(NodeId node, Key key, Value value, DurationNs timeout)
+SimCluster::writeSync(NodeId node, Key key, ValueRef value, DurationNs timeout)
 {
     bool done = false;
     write(node, key, std::move(value), [&done] { done = true; });
@@ -150,7 +150,7 @@ SimCluster::writeSync(NodeId node, Key key, Value value, DurationNs timeout)
 }
 
 std::optional<bool>
-SimCluster::casSync(NodeId node, Key key, Value expected, Value desired,
+SimCluster::casSync(NodeId node, Key key, ValueRef expected, ValueRef desired,
                     DurationNs timeout)
 {
     std::optional<bool> result;

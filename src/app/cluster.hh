@@ -163,9 +163,9 @@ class SimCluster
 
     // ---- Async client API (through the node's CPU) ----
     void read(NodeId node, Key key, ReplicaHandle::ReadCallback cb);
-    void write(NodeId node, Key key, Value value,
+    void write(NodeId node, Key key, ValueRef value,
                ReplicaHandle::WriteCallback cb);
-    void cas(NodeId node, Key key, Value expected, Value desired,
+    void cas(NodeId node, Key key, ValueRef expected, ValueRef desired,
              ReplicaHandle::CasCallback cb);
 
     // ---- Synchronous helpers (run the sim until the op completes) ----
@@ -175,12 +175,13 @@ class SimCluster
                                   DurationNs timeout = 100_ms);
 
     /** Write; returns false on timeout. */
-    bool writeSync(NodeId node, Key key, Value value,
+    bool writeSync(NodeId node, Key key, ValueRef value,
                    DurationNs timeout = 100_ms);
 
     /** CAS; returns nullopt on timeout, else whether it applied. */
-    std::optional<bool> casSync(NodeId node, Key key, Value expected,
-                                Value desired, DurationNs timeout = 100_ms);
+    std::optional<bool> casSync(NodeId node, Key key, ValueRef expected,
+                                ValueRef desired,
+                                DurationNs timeout = 100_ms);
 
     /**
      * Convergence probe: true when every live replica of the key's shard

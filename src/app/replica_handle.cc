@@ -92,13 +92,13 @@ class HermesHandle : public HandleBase<proto::HermesReplica>
     }
 
     void
-    write(Key key, Value value, WriteCallback cb) override
+    write(Key key, ValueRef value, WriteCallback cb) override
     {
         engine_->write(key, std::move(value), std::move(cb));
     }
 
     void
-    cas(Key key, Value expected, Value desired, CasCallback cb) override
+    cas(Key key, ValueRef expected, ValueRef desired, CasCallback cb) override
     {
         engine_->cas(key, std::move(expected), std::move(desired),
                      std::move(cb));
@@ -137,7 +137,7 @@ class CraqHandle : public HandleBase<craq::CraqReplica>
     }
 
     void
-    write(Key key, Value value, WriteCallback cb) override
+    write(Key key, ValueRef value, WriteCallback cb) override
     {
         engine_->write(key, std::move(value), std::move(cb));
     }
@@ -175,7 +175,7 @@ class ZabHandle : public HandleBase<zab::ZabReplica>
     }
 
     void
-    write(Key key, Value value, WriteCallback cb) override
+    write(Key key, ValueRef value, WriteCallback cb) override
     {
         engine_->write(key, std::move(value), std::move(cb));
     }
@@ -213,7 +213,7 @@ class LockstepHandle : public HandleBase<lockstep::LockstepReplica>
     }
 
     void
-    write(Key key, Value value, WriteCallback cb) override
+    write(Key key, ValueRef value, WriteCallback cb) override
     {
         engine_->write(key, std::move(value), std::move(cb));
     }

@@ -63,11 +63,11 @@ class ReplicaHandle : public net::Node
 
     // ---- Client API ----
     virtual void read(Key key, ReadCallback cb) = 0;
-    virtual void write(Key key, Value value, WriteCallback cb) = 0;
+    virtual void write(Key key, ValueRef value, WriteCallback cb) = 0;
 
     /** CAS RMW; only protocols with traits().supportsRmw implement it. */
     virtual void
-    cas(Key, Value, Value, CasCallback)
+    cas(Key, ValueRef, ValueRef, CasCallback)
     {
         panic("%s does not support RMWs", traits().name);
     }

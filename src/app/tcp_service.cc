@@ -58,6 +58,14 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     uint64_t req_id = request.reqId;
     uint32_t shard = request.shard;
 
+    // Every reply carries the serving group's shard map (count + id):
+    // on a WrongShard rejection this is what the client re-resolves its
+    // routing from.
+    auto stampMap = [this](ClientReplyMsg &reply) {
+        reply.mapShards = static_cast<uint32_t>(numShards_);
+        reply.mapShard = shardId_;
+    };
+
     // Shard-map agreement check: the stamp must name this group's shard
     // AND the key must hash there under this group's map. A client with a
     // stale map (different shard count, or routed to the wrong group)
@@ -70,6 +78,7 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         reply.shard = shard;
         reply.ok = false;
         reply.status = ClientReplyMsg::Status::WrongShard;
+        stampMap(reply);
         cluster_.replyToClient(node, conn, reply);
         return;
     }
@@ -77,31 +86,38 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     switch (request.op) {
       case ClientRequestMsg::Op::Read:
         replica.read(request.key,
-                     [this, node, conn, req_id, shard](const Value &value) {
+                     [this, node, conn, req_id, shard,
+                      stampMap](const Value &value) {
                          ClientReplyMsg reply;
                          reply.reqId = req_id;
                          reply.shard = shard;
+                         stampMap(reply);
                          reply.value = value;
                          cluster_.replyToClient(node, conn, reply);
                      });
         break;
       case ClientRequestMsg::Op::Write:
+        // request.value is a ValueRef aliasing the transport's receive
+        // slab: handing it down is a refcount bump, and the protocol's
+        // own INV/chain/propose encode gathers from the same buffer.
         replica.write(request.key, request.value,
-                      [this, node, conn, req_id, shard] {
+                      [this, node, conn, req_id, shard, stampMap] {
                           ClientReplyMsg reply;
                           reply.reqId = req_id;
                           reply.shard = shard;
+                          stampMap(reply);
                           cluster_.replyToClient(node, conn, reply);
                       });
         break;
       case ClientRequestMsg::Op::Cas:
         replica.cas(request.key, request.expected, request.value,
-                    [this, node, conn, req_id,
-                     shard](bool ok, const Value &seen) {
+                    [this, node, conn, req_id, shard,
+                     stampMap](bool ok, const Value &seen) {
                         ClientReplyMsg reply;
                         reply.reqId = req_id;
                         reply.ok = ok;
                         reply.shard = shard;
+                        stampMap(reply);
                         reply.value = seen;
                         cluster_.replyToClient(node, conn, reply);
                     });
@@ -109,61 +125,72 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     }
 }
 
+std::shared_ptr<net::Message>
+KvClient::callRerouting(ClientRequestMsg &request, DurationNs timeout)
+{
+    lastStatus_ = ClientReplyMsg::Status::Ok;
+    request.shard = shardOfKey(request.key, numShards_);
+    request.reqId = nextReqId_++;
+    auto reply = client_.call(request, timeout);
+    if (!reply || reply->type() != net::MsgType::ClientReply)
+        return nullptr;
+    auto *r = static_cast<ClientReplyMsg *>(reply.get());
+    if (r->status == ClientReplyMsg::Status::WrongShard
+            && r->mapShards != 0) {
+        // Stale shard map: re-resolve from the service's authoritative
+        // count and retry once with the corrected stamp. If the key
+        // genuinely lives on another group (re-resolution does not
+        // change our route to THIS group), the retry is skipped and the
+        // rejection surfaces for the caller to re-route.
+        uint32_t stamp = shardOfKey(request.key, r->mapShards);
+        numShards_ = r->mapShards;
+        if (stamp != request.shard && stamp == r->mapShard) {
+            request.shard = stamp;
+            request.reqId = nextReqId_++;
+            reply = client_.call(request, timeout);
+            if (!reply || reply->type() != net::MsgType::ClientReply)
+                return nullptr;
+        }
+    }
+    lastStatus_ = static_cast<ClientReplyMsg &>(*reply).status;
+    return reply;
+}
+
 std::optional<Value>
 KvClient::read(Key key, DurationNs timeout)
 {
     ClientRequestMsg request;
-    lastStatus_ = ClientReplyMsg::Status::Ok;
     request.op = ClientRequestMsg::Op::Read;
-    request.reqId = nextReqId_++;
     request.key = key;
-    request.shard = shardOfKey(key, numShards_);
-    auto reply = client_.call(request, timeout);
-    if (!reply || reply->type() != net::MsgType::ClientReply)
+    auto reply = callRerouting(request, timeout);
+    if (!reply || lastStatus_ != ClientReplyMsg::Status::Ok)
         return std::nullopt;
-    auto &r = static_cast<ClientReplyMsg &>(*reply);
-    lastStatus_ = r.status;
-    if (r.status != ClientReplyMsg::Status::Ok)
-        return std::nullopt;
-    return r.value;
+    return static_cast<ClientReplyMsg &>(*reply).value.str();
 }
 
 bool
 KvClient::write(Key key, Value value, DurationNs timeout)
 {
     ClientRequestMsg request;
-    lastStatus_ = ClientReplyMsg::Status::Ok;
     request.op = ClientRequestMsg::Op::Write;
-    request.reqId = nextReqId_++;
     request.key = key;
-    request.shard = shardOfKey(key, numShards_);
     request.value = std::move(value);
-    auto reply = client_.call(request, timeout);
-    if (!reply || reply->type() != net::MsgType::ClientReply)
-        return false;
-    lastStatus_ = static_cast<ClientReplyMsg &>(*reply).status;
-    return lastStatus_ == ClientReplyMsg::Status::Ok;
+    auto reply = callRerouting(request, timeout);
+    return reply && lastStatus_ == ClientReplyMsg::Status::Ok;
 }
 
 std::optional<bool>
 KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
 {
     ClientRequestMsg request;
-    lastStatus_ = ClientReplyMsg::Status::Ok;
     request.op = ClientRequestMsg::Op::Cas;
-    request.reqId = nextReqId_++;
     request.key = key;
-    request.shard = shardOfKey(key, numShards_);
     request.value = std::move(desired);
     request.expected = std::move(expected);
-    auto reply = client_.call(request, timeout);
-    if (!reply || reply->type() != net::MsgType::ClientReply)
+    auto reply = callRerouting(request, timeout);
+    if (!reply || lastStatus_ != ClientReplyMsg::Status::Ok)
         return std::nullopt;
-    auto &r = static_cast<ClientReplyMsg &>(*reply);
-    lastStatus_ = r.status;
-    if (r.status != ClientReplyMsg::Status::Ok)
-        return std::nullopt;
-    return r.ok;
+    return static_cast<ClientReplyMsg &>(*reply).ok;
 }
 
 } // namespace hermes::app

@@ -100,11 +100,22 @@ class KvClient
     /**
      * Status of the last completed call: distinguishes a WrongShard
      * rejection (stale client shard map; re-route after a map refresh)
-     * from a genuine timeout/failure.
+     * from a genuine timeout/failure. WrongShard replies carry the
+     * service's shard map; the client adopts the advertised shard count
+     * and retries once when the corrected stamp routes the key to the
+     * connected group, so a merely-stale map self-heals and only
+     * genuinely misrouted keys surface the error.
      */
     net::ClientReplyMsg::Status lastStatus() const { return lastStatus_; }
 
+    /** The client's current notion of the deployment's shard count. */
+    size_t numShards() const { return numShards_; }
+
   private:
+    /** Stamp, send, and on WrongShard re-resolve the map + retry once. */
+    std::shared_ptr<net::Message>
+    callRerouting(net::ClientRequestMsg &request, DurationNs timeout);
+
     net::TcpClient client_;
     size_t numShards_ = 1;
     uint64_t nextReqId_ = 1;

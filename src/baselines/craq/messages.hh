@@ -19,7 +19,7 @@ struct ForwardMsg : net::Message
     ForwardMsg() : Message(net::MsgType::CraqForward) {}
 
     Key key = 0;
-    Value value;
+    ValueRef value;
     NodeId origin = kInvalidNode; ///< node owning the client callback
     uint64_t reqId = 0;
 
@@ -28,11 +28,13 @@ struct ForwardMsg : net::Message
         return 8 + 4 + value.size() + 4 + 8;
     }
 
+    size_t valueBytes() const override { return value.size(); }
+
     void
     serializePayload(BufWriter &writer) const override
     {
         writer.putU64(key);
-        writer.putString(value);
+        writer.putValue(value);
         writer.putU32(origin);
         writer.putU64(reqId);
     }
@@ -45,7 +47,7 @@ struct WriteMsg : net::Message
 
     Key key = 0;
     uint32_t version = 0;
-    Value value;
+    ValueRef value;
     NodeId origin = kInvalidNode;
     uint64_t reqId = 0;
 
@@ -54,12 +56,14 @@ struct WriteMsg : net::Message
         return 8 + 4 + 4 + value.size() + 4 + 8;
     }
 
+    size_t valueBytes() const override { return value.size(); }
+
     void
     serializePayload(BufWriter &writer) const override
     {
         writer.putU64(key);
         writer.putU32(version);
-        writer.putString(value);
+        writer.putValue(value);
         writer.putU32(origin);
         writer.putU64(reqId);
     }

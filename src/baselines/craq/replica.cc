@@ -21,7 +21,7 @@ registerCraqCodecs()
     net::registerDecoder(MsgType::CraqForward, [](BufReader &reader) {
         auto msg = std::make_shared<ForwardMsg>();
         msg->key = reader.getU64();
-        msg->value = reader.getString();
+        msg->value = reader.getValue();
         msg->origin = reader.getU32();
         msg->reqId = reader.getU64();
         return msg;
@@ -30,7 +30,7 @@ registerCraqCodecs()
         auto msg = std::make_shared<WriteMsg>();
         msg->key = reader.getU64();
         msg->version = reader.getU32();
-        msg->value = reader.getString();
+        msg->value = reader.getValue();
         msg->origin = reader.getU32();
         msg->reqId = reader.getU64();
         return msg;
@@ -115,7 +115,7 @@ CraqReplica::read(Key key, ReadCallback cb)
 }
 
 void
-CraqReplica::write(Key key, Value value, WriteCallback cb)
+CraqReplica::write(Key key, ValueRef value, WriteCallback cb)
 {
     uint64_t req_id = nextReqId_++;
     ClientOp op;
@@ -141,7 +141,7 @@ CraqReplica::write(Key key, Value value, WriteCallback cb)
 // ---------------------------------------------------------------------
 
 void
-CraqReplica::headIngest(Key key, Value value, NodeId origin, uint64_t req_id)
+CraqReplica::headIngest(Key key, ValueRef value, NodeId origin, uint64_t req_id)
 {
     // Version assignment + dirty-list append: two store touches.
     env_.chargeStoreAccess(2);
@@ -174,7 +174,7 @@ CraqReplica::commitLocal(Key key, uint32_t version)
     auto it = dirty_.find(key);
     // Consume every dirty version <= the committed one; the newest of
     // them is the value the committed key now holds.
-    Value committed_value;
+    ValueRef committed_value;
     uint32_t popped_version = 0;
     if (it != dirty_.end()) {
         DirtyList &list = it->second;
@@ -352,18 +352,19 @@ CraqReplica::onVersionReply(const VersionReplyMsg &msg)
         return;
     }
     // Return the newest dirty version <= the committed version.
-    const Value *chosen = current.found ? &current.value : nullptr;
+    std::string_view chosen = current.found
+                                  ? std::string_view(current.value)
+                                  : std::string_view{};
     auto dirty_it = dirty_.find(op.key);
     if (dirty_it != dirty_.end()) {
         for (const auto &[version, value] : dirty_it->second) {
             if (version <= msg.version)
-                chosen = &value;
+                chosen = value.view();
             else
                 break;
         }
     }
-    static const Value kEmpty;
-    op.readCb(chosen ? *chosen : kEmpty);
+    op.readCb(Value(chosen));
 }
 
 // ---------------------------------------------------------------------

@@ -66,7 +66,7 @@ class CraqReplica : public net::Node
     void read(Key key, ReadCallback cb);
 
     /** Linearizable write: forwarded to the head, committed at the tail. */
-    void write(Key key, Value value, WriteCallback cb);
+    void write(Key key, ValueRef value, WriteCallback cb);
 
     // ---- Introspection ----
     const CraqStats &stats() const { return stats_; }
@@ -79,7 +79,7 @@ class CraqReplica : public net::Node
 
   private:
     /** Per-key list of not-yet-committed versions, oldest first. */
-    using DirtyList = std::deque<std::pair<uint32_t, Value>>;
+    using DirtyList = std::deque<std::pair<uint32_t, ValueRef>>;
 
     struct ClientOp
     {
@@ -91,7 +91,7 @@ class CraqReplica : public net::Node
     NodeId successor() const;
     NodeId predecessor() const;
 
-    void headIngest(Key key, Value value, NodeId origin, uint64_t req_id);
+    void headIngest(Key key, ValueRef value, NodeId origin, uint64_t req_id);
     void commitLocal(Key key, uint32_t version);
     void completeWrite(NodeId origin, uint64_t req_id);
 

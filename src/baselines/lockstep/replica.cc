@@ -14,7 +14,7 @@ void
 putEntry(BufWriter &writer, const Entry &entry)
 {
     writer.putU64(entry.key);
-    writer.putString(entry.value);
+    writer.putValue(entry.value);
     writer.putU32(entry.origin);
     writer.putU64(entry.reqId);
 }
@@ -24,7 +24,7 @@ getEntry(BufReader &reader)
 {
     Entry entry;
     entry.key = reader.getU64();
-    entry.value = reader.getString();
+    entry.value = reader.getValue();
     entry.origin = reader.getU32();
     entry.reqId = reader.getU64();
     return entry;
@@ -45,6 +45,15 @@ RoundMsg::payloadSize() const
     for (const Entry &entry : entries)
         size += 8 + 4 + entry.value.size() + 4 + 8;
     return size;
+}
+
+size_t
+RoundMsg::valueBytes() const
+{
+    size_t bytes = 0;
+    for (const Entry &entry : entries)
+        bytes += entry.value.size();
+    return bytes;
 }
 
 void
@@ -108,7 +117,7 @@ LockstepReplica::read(Key key, ReadCallback cb)
 }
 
 void
-LockstepReplica::write(Key key, Value value, WriteCallback cb)
+LockstepReplica::write(Key key, ValueRef value, WriteCallback cb)
 {
     uint64_t req_id = nextReqId_++;
     clientOps_[req_id] = std::move(cb);

@@ -37,7 +37,7 @@ namespace hermes::lockstep
 struct Entry
 {
     Key key = 0;
-    Value value;
+    ValueRef value;
     NodeId origin = kInvalidNode;
     uint64_t reqId = 0;
 };
@@ -53,6 +53,7 @@ struct SubmitMsg : net::Message
     {
         return 8 + 4 + entry.value.size() + 4 + 8;
     }
+    size_t valueBytes() const override { return entry.value.size(); }
     void serializePayload(BufWriter &writer) const override;
 };
 
@@ -65,6 +66,7 @@ struct RoundMsg : net::Message
     std::vector<Entry> entries;
 
     size_t payloadSize() const override;
+    size_t valueBytes() const override;
     void serializePayload(BufWriter &writer) const override;
 };
 
@@ -131,7 +133,7 @@ class LockstepReplica : public net::Node
     void read(Key key, ReadCallback cb);
 
     /** Totally ordered write; cb fires when its round is delivered here. */
-    void write(Key key, Value value, WriteCallback cb);
+    void write(Key key, ValueRef value, WriteCallback cb);
 
     // ---- Introspection ----
     const LockstepStats &stats() const { return stats_; }

@@ -11,7 +11,7 @@ void
 ForwardMsg::serializePayload(BufWriter &writer) const
 {
     writer.putU64(key);
-    writer.putString(value);
+    writer.putValue(value);
     writer.putU32(origin);
     writer.putU64(reqId);
 }
@@ -21,7 +21,7 @@ ProposeMsg::serializePayload(BufWriter &writer) const
 {
     writer.putU64(zxid);
     writer.putU64(key);
-    writer.putString(value);
+    writer.putValue(value);
     writer.putU32(origin);
     writer.putU64(reqId);
 }
@@ -45,7 +45,7 @@ registerZabCodecs()
     net::registerDecoder(MsgType::ZabForward, [](BufReader &reader) {
         auto msg = std::make_shared<ForwardMsg>();
         msg->key = reader.getU64();
-        msg->value = reader.getString();
+        msg->value = reader.getValue();
         msg->origin = reader.getU32();
         msg->reqId = reader.getU64();
         return msg;
@@ -54,7 +54,7 @@ registerZabCodecs()
         auto msg = std::make_shared<ProposeMsg>();
         msg->zxid = reader.getU64();
         msg->key = reader.getU64();
-        msg->value = reader.getString();
+        msg->value = reader.getValue();
         msg->origin = reader.getU32();
         msg->reqId = reader.getU64();
         return msg;
@@ -94,7 +94,7 @@ ZabReplica::read(Key key, ReadCallback cb)
 }
 
 void
-ZabReplica::write(Key key, Value value, WriteCallback cb)
+ZabReplica::write(Key key, ValueRef value, WriteCallback cb)
 {
     uint64_t req_id = nextReqId_++;
     clientOps_[req_id] = std::move(cb);
@@ -116,7 +116,7 @@ ZabReplica::write(Key key, Value value, WriteCallback cb)
 // ---------------------------------------------------------------------
 
 void
-ZabReplica::propose(Key key, Value value, NodeId origin, uint64_t req_id)
+ZabReplica::propose(Key key, ValueRef value, NodeId origin, uint64_t req_id)
 {
     hermes_assert(isLeader());
     ingress_.push_back(LogEntry{key, std::move(value), origin, req_id});

@@ -40,7 +40,7 @@ struct ForwardMsg : net::Message
     ForwardMsg() : Message(net::MsgType::ZabForward) {}
 
     Key key = 0;
-    Value value;
+    ValueRef value;
     NodeId origin = kInvalidNode;
     uint64_t reqId = 0;
 
@@ -48,6 +48,7 @@ struct ForwardMsg : net::Message
     {
         return 8 + 4 + value.size() + 4 + 8;
     }
+    size_t valueBytes() const override { return value.size(); }
     void serializePayload(BufWriter &writer) const override;
 };
 
@@ -58,7 +59,7 @@ struct ProposeMsg : net::Message
 
     uint64_t zxid = 0;
     Key key = 0;
-    Value value;
+    ValueRef value;
     NodeId origin = kInvalidNode;
     uint64_t reqId = 0;
 
@@ -66,6 +67,7 @@ struct ProposeMsg : net::Message
     {
         return 8 + 8 + 4 + value.size() + 4 + 8;
     }
+    size_t valueBytes() const override { return value.size(); }
     void serializePayload(BufWriter &writer) const override;
 };
 
@@ -124,7 +126,7 @@ class ZabReplica : public net::Node
     void read(Key key, ReadCallback cb);
 
     /** Write serialized through the leader; cb fires at local apply. */
-    void write(Key key, Value value, WriteCallback cb);
+    void write(Key key, ValueRef value, WriteCallback cb);
 
     // ---- Introspection ----
     const ZabStats &stats() const { return stats_; }
@@ -136,7 +138,7 @@ class ZabReplica : public net::Node
     struct LogEntry
     {
         Key key = 0;
-        Value value;
+        ValueRef value;
         NodeId origin = kInvalidNode;
         uint64_t reqId = 0;
     };
@@ -155,7 +157,7 @@ class ZabReplica : public net::Node
      * and balloons its write latency under load — the effect behind the
      * paper's Figure 5/6 rZAB curves.
      */
-    void propose(Key key, Value value, NodeId origin, uint64_t req_id);
+    void propose(Key key, ValueRef value, NodeId origin, uint64_t req_id);
     void pumpSequencer();
     void broadcastProposal(LogEntry entry);
     void advanceCommit();

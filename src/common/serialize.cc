@@ -4,10 +4,34 @@ namespace hermes
 {
 
 void
+WireFrame::flattenTo(std::vector<uint8_t> &out) const
+{
+    out.reserve(out.size() + size());
+    forEachRun([&out](const void *data, size_t len) {
+        const auto *bytes = static_cast<const uint8_t *>(data);
+        out.insert(out.end(), bytes, bytes + len);
+    });
+}
+
+void
 BufWriter::putString(const std::string &s)
 {
     putU32(static_cast<uint32_t>(s.size()));
     putBytes(s.data(), s.size());
+}
+
+void
+BufWriter::putValue(const ValueRef &v)
+{
+    putU32(static_cast<uint32_t>(v.size()));
+    if (frame_ && v.size() > kZeroCopyThreshold) {
+        // Scatter/gather: splice the value's own buffer into the frame
+        // after the bytes staged so far. The ref keeps the buffer alive
+        // until the frame is written (or flattened).
+        frame_->segments.push_back(WireFrame::Segment{out_.size(), v});
+        return;
+    }
+    putBytes(v.data(), v.size());
 }
 
 void
@@ -27,25 +51,22 @@ BufReader::getU8()
 uint16_t
 BufReader::getU16()
 {
-    uint16_t v = 0;
-    take(&v, sizeof(v));
-    return v;
+    uint8_t b[2] = {};
+    return take(b, sizeof(b)) ? leLoad16(b) : 0;
 }
 
 uint32_t
 BufReader::getU32()
 {
-    uint32_t v = 0;
-    take(&v, sizeof(v));
-    return v;
+    uint8_t b[4] = {};
+    return take(b, sizeof(b)) ? leLoad32(b) : 0;
 }
 
 uint64_t
 BufReader::getU64()
 {
-    uint64_t v = 0;
-    take(&v, sizeof(v));
-    return v;
+    uint8_t b[8] = {};
+    return take(b, sizeof(b)) ? leLoad64(b) : 0;
 }
 
 std::string
@@ -59,6 +80,24 @@ BufReader::getString()
     std::string s(reinterpret_cast<const char *>(data_ + pos_), n);
     pos_ += n;
     return s;
+}
+
+ValueRef
+BufReader::getValue()
+{
+    uint32_t n = getU32();
+    if (!ok_ || len_ - pos_ < n) {
+        ok_ = false;
+        return {};
+    }
+    std::string_view bytes(reinterpret_cast<const char *>(data_ + pos_), n);
+    pos_ += n;
+    if (pin_ && n > kZeroCopyThreshold) {
+        // Alias the receive slab: the decoded message pins it alive; the
+        // value's only remaining copy is the store's own memcpy.
+        return ValueRef(bytes, pin_);
+    }
+    return ValueRef::copyOf(bytes);
 }
 
 } // namespace hermes

@@ -1,0 +1,18 @@
+#include "common/value_ref.hh"
+
+namespace hermes
+{
+
+std::atomic<uint64_t> ValueCopyCounters::refCopies{0};
+std::atomic<uint64_t> ValueCopyCounters::refCopiedBytes{0};
+std::atomic<uint64_t> ValueCopyCounters::storeCopies{0};
+
+void
+ValueCopyCounters::reset()
+{
+    refCopies.store(0, std::memory_order_relaxed);
+    refCopiedBytes.store(0, std::memory_order_relaxed);
+    storeCopies.store(0, std::memory_order_relaxed);
+}
+
+} // namespace hermes

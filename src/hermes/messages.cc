@@ -13,7 +13,7 @@ registerHermesCodecs()
         msg->ts.version = reader.getU32();
         msg->ts.cid = reader.getU32();
         msg->rmw = reader.getU8() != 0;
-        msg->value = reader.getString();
+        msg->value = reader.getValue();
         return msg;
     });
     net::registerDecoder(MsgType::HermesAck, [](BufReader &reader) {
@@ -58,7 +58,7 @@ registerHermesCodecs()
             entry.ts.cid = reader.getU32();
             entry.flags = reader.getU8();
             entry.valid = reader.getU8() != 0;
-            entry.value = reader.getString();
+            entry.value = reader.getValue();
             msg->entries.push_back(std::move(entry));
         }
         return msg;

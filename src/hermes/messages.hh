@@ -25,9 +25,10 @@ struct InvMsg : net::Message
     Key key = 0;
     Timestamp ts;
     bool rmw = false;   ///< RMW_flag (§3.6): update is a conflicting RMW
-    Value value;
+    ValueRef value;
 
     size_t payloadSize() const override { return 8 + 8 + 1 + 4 + value.size(); }
+    size_t valueBytes() const override { return value.size(); }
 
     void
     serializePayload(BufWriter &writer) const override
@@ -36,7 +37,7 @@ struct InvMsg : net::Message
         writer.putU32(ts.version);
         writer.putU32(ts.cid);
         writer.putU8(rmw ? 1 : 0);
-        writer.putString(value);
+        writer.putValue(value);
     }
 };
 
@@ -110,7 +111,7 @@ struct StateEntry
      * it Invalid and let a write replay confirm it before serving reads.
      */
     bool valid = true;
-    Value value;
+    ValueRef value;
 };
 
 /** A batch of entries from the source's snapshot. */
@@ -131,6 +132,15 @@ struct StateChunkMsg : net::Message
         return size;
     }
 
+    size_t
+    valueBytes() const override
+    {
+        size_t bytes = 0;
+        for (const StateEntry &entry : entries)
+            bytes += entry.value.size();
+        return bytes;
+    }
+
     void
     serializePayload(BufWriter &writer) const override
     {
@@ -143,7 +153,7 @@ struct StateChunkMsg : net::Message
             writer.putU32(entry.ts.cid);
             writer.putU8(entry.flags);
             writer.putU8(entry.valid ? 1 : 0);
-            writer.putString(entry.value);
+            writer.putValue(entry.value);
         }
     }
 };

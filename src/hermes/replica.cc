@@ -80,7 +80,7 @@ HermesReplica::read(Key key, ReadCallback cb)
 }
 
 void
-HermesReplica::write(Key key, Value value, WriteCallback cb)
+HermesReplica::write(Key key, ValueRef value, WriteCallback cb)
 {
     if (halted_)
         return;
@@ -111,7 +111,7 @@ HermesReplica::write(Key key, Value value, WriteCallback cb)
 }
 
 void
-HermesReplica::cas(Key key, Value expected, Value desired, CasCallback cb)
+HermesReplica::cas(Key key, ValueRef expected, ValueRef desired, CasCallback cb)
 {
     if (halted_)
         return;
@@ -168,8 +168,9 @@ HermesReplica::pickCid()
 }
 
 void
-HermesReplica::issueUpdate(Key key, Value value, bool rmw, WriteCallback wcb,
-                           CasCallback ccb, Value cas_expected)
+HermesReplica::issueUpdate(Key key, ValueRef value, bool rmw,
+                           WriteCallback wcb, CasCallback ccb,
+                           ValueRef cas_expected)
 {
     uint32_t cid = pickCid();
     Timestamp new_ts;
@@ -314,7 +315,7 @@ HermesReplica::commit(Key key, Pending pending)
         hermes_assert(!conflicted); // conflicting RMWs abort before commit
         ++stats_.rmwsCommitted;
         if (pending.casCb)
-            pending.casCb(true, pending.casExpected);
+            pending.casCb(true, pending.casExpected.str());
     } else {
         ++stats_.writesCommitted;
         if (pending.writeCb)
@@ -398,7 +399,7 @@ HermesReplica::onInv(const InvMsg &msg)
         bool ackIt;
         Timestamp localTs;
         uint8_t localFlags;
-        Value localValue;
+        ValueRef localValue;
     };
 
     env_.chargeStoreAccess(1);
@@ -422,7 +423,9 @@ HermesReplica::onInv(const InvMsg &msg)
                 own_update_in_flight ? KeyState::Trans : KeyState::Invalid);
             rec.setValue(msg.value);
         } else if (!ack_it) {
-            r.localValue = Value(rec.value());
+            // Copy out under the seqlock: the rejection INV must carry a
+            // stable snapshot, not a view into a mutable entry.
+            r.localValue = ValueRef::copyOf(rec.value());
         }
         return r;
     });
@@ -651,7 +654,7 @@ HermesReplica::onStateReq(const StateReqMsg &msg)
             entry.flags = meta.flags;
             entry.valid =
                 static_cast<KeyState>(meta.state) == KeyState::Valid;
-            entry.value = Value(value);
+            entry.value = ValueRef::copyOf(value);
             snapshot.push_back(std::move(entry));
         });
         it = transferSnapshots_
@@ -754,11 +757,11 @@ HermesReplica::startReplay(Key key)
 {
     ++stats_.replaysStarted;
     Timestamp ts;
-    Value value;
+    ValueRef value;
     uint8_t flags = 0;
     store_.withKey(key, [&](KeyRecord &rec) {
         ts = rec.meta().ts;
-        value = Value(rec.value());
+        value = ValueRef::copyOf(rec.value());
         flags = rec.meta().flags;
         rec.meta().state = static_cast<uint8_t>(KeyState::Replay);
     });

@@ -109,7 +109,7 @@ class HermesReplica : public net::Node
      * callback fires at commit (all live replicas invalidated), i.e. after
      * one exposed round-trip in the failure-free case. Writes never abort.
      */
-    void write(Key key, Value value, WriteCallback cb);
+    void write(Key key, ValueRef value, WriteCallback cb);
 
     /**
      * Linearizable compare-and-swap built on Hermes RMWs. Fails fast (with
@@ -118,7 +118,7 @@ class HermesReplica : public net::Node
      * commits or definitively fails, so the callback reports the final
      * linearized outcome.
      */
-    void cas(Key key, Value expected, Value desired, CasCallback cb);
+    void cas(Key key, ValueRef expected, ValueRef desired, CasCallback cb);
 
     /**
      * §3.4 Recovery: stream the datastore from @p source while acting as
@@ -147,13 +147,13 @@ class HermesReplica : public net::Node
     struct Pending
     {
         Timestamp ts;
-        Value value;
+        ValueRef value;
         bool rmw = false;
         bool replay = false;
         NodeSet acksNeeded;
         WriteCallback writeCb;
         CasCallback casCb;
-        Value casExpected;   ///< for internal retry after an RMW abort
+        ValueRef casExpected; ///< for internal retry after an RMW abort
         net::TimerId mltTimer = 0;
     };
 
@@ -161,8 +161,8 @@ class HermesReplica : public net::Node
     struct Stalled
     {
         enum class Kind { Read, Write, Cas } kind;
-        Value value;         ///< write value / CAS desired
-        Value expected;      ///< CAS expected
+        ValueRef value;      ///< write value / CAS desired
+        ValueRef expected;   ///< CAS expected
         ReadCallback readCb;
         WriteCallback writeCb;
         CasCallback casCb;
@@ -186,8 +186,8 @@ class HermesReplica : public net::Node
 
     // Coordinator machinery.
     uint32_t pickCid();
-    void issueUpdate(Key key, Value value, bool rmw, WriteCallback wcb,
-                     CasCallback ccb, Value cas_expected);
+    void issueUpdate(Key key, ValueRef value, bool rmw, WriteCallback wcb,
+                     CasCallback ccb, ValueRef cas_expected);
     void registerPending(Key key, Pending pending);
     void broadcastInv(Key key, const Pending &pending);
     void tryCommit(Key key);

@@ -10,10 +10,14 @@ BatchMsg::serializePayload(BufWriter &writer) const
 {
     writer.putU16(static_cast<uint16_t>(msgs.size()));
     for (const MessagePtr &msg : msgs) {
-        std::vector<uint8_t> bytes;
-        encodeMessage(*msg, bytes);
-        writer.putU32(static_cast<uint32_t>(bytes.size()));
-        writer.putRaw(bytes.data(), bytes.size());
+        // Each inner frame's length is known up front (kEnvelopeBytes +
+        // payloadSize(), an invariant the round-trip tests pin), so the
+        // envelope can encode inline through the SAME writer — in gather
+        // mode the inner messages' values ride as scatter segments and
+        // batching composes with the zero-copy path.
+        writer.putU32(
+            static_cast<uint32_t>(kEnvelopeBytes + msg->payloadSize()));
+        encodeMessageInto(*msg, writer);
     }
 }
 
@@ -31,11 +35,12 @@ registerBatchCodec()
             uint32_t len = reader.getU32();
             if (!reader.ok() || reader.remaining() < len)
                 return nullptr;
-            std::vector<uint8_t> body(len);
-            for (uint32_t b = 0; b < len; ++b)
-                body[b] = reader.getU8();
+            // Decode each inner frame in place (no body staging copy);
+            // inner values above the zero-copy threshold alias the same
+            // receive slab the outer frame lives in.
             std::shared_ptr<Message> inner =
-                decodeMessage(body.data(), body.size());
+                decodeMessage(reader.cursor(), len, reader.pin());
+            reader.skip(len);
             // A malformed inner frame — or a nested batch, which no
             // sender produces — poisons the whole envelope: treat it as
             // loss rather than delivering a partial batch.

@@ -77,12 +77,21 @@ struct BatchMsg : Message
     payloadSize() const override
     {
         // u16 count, then per message a u32 length prefix + the encoded
-        // message (9-byte envelope + payload), mirroring the TCP batch
-        // frame body.
+        // message (envelope + payload), mirroring the TCP batch frame
+        // body.
         size_t size = 2;
         for (const MessagePtr &msg : msgs)
-            size += 4 + 9 + msg->payloadSize();
+            size += 4 + kEnvelopeBytes + msg->payloadSize();
         return size;
+    }
+
+    size_t
+    valueBytes() const override
+    {
+        size_t bytes = 0;
+        for (const MessagePtr &msg : msgs)
+            bytes += msg->valueBytes();
+        return bytes;
     }
 
     void serializePayload(BufWriter &writer) const override;

@@ -12,8 +12,8 @@ registerClientCodecs()
         msg->reqId = reader.getU64();
         msg->key = reader.getU64();
         msg->shard = reader.getU32();
-        msg->value = reader.getString();
-        msg->expected = reader.getString();
+        msg->value = reader.getValue();
+        msg->expected = reader.getValue();
         return msg;
     });
     registerDecoder(MsgType::ClientReply, [](BufReader &reader) {
@@ -22,7 +22,9 @@ registerClientCodecs()
         msg->status = static_cast<ClientReplyMsg::Status>(reader.getU8());
         msg->ok = reader.getU8() != 0;
         msg->shard = reader.getU32();
-        msg->value = reader.getString();
+        msg->mapShards = reader.getU32();
+        msg->mapShard = reader.getU32();
+        msg->value = reader.getValue();
         return msg;
     });
 }

@@ -30,12 +30,17 @@ struct ClientRequestMsg : Message
      * the key from the wrong group, and is echoed in the reply.
      */
     uint32_t shard = 0;
-    Value value;    ///< write value / CAS desired
-    Value expected; ///< CAS expected
+    ValueRef value;    ///< write value / CAS desired
+    ValueRef expected; ///< CAS expected
 
     size_t payloadSize() const override
     {
         return 1 + 8 + 8 + 4 + 4 + value.size() + 4 + expected.size();
+    }
+
+    size_t valueBytes() const override
+    {
+        return value.size() + expected.size();
     }
 
     void
@@ -45,8 +50,8 @@ struct ClientRequestMsg : Message
         writer.putU64(reqId);
         writer.putU64(key);
         writer.putU32(shard);
-        writer.putString(value);
-        writer.putString(expected);
+        writer.putValue(value);
+        writer.putValue(expected);
     }
 };
 
@@ -72,12 +77,22 @@ struct ClientReplyMsg : Message
     bool ok = true;  ///< CAS: applied; read/write: always true
     /** Echo of the request's shard id (client-side routing check). */
     uint32_t shard = 0;
-    Value value;     ///< read result / CAS observed value
+    /**
+     * The serving group's shard map, always populated by the service:
+     * the deployment's shard count and the shard this group serves. On a
+     * WrongShard rejection this is what lets the client *re-resolve* its
+     * map (adopt mapShards) and re-route instead of surfacing the error.
+     */
+    uint32_t mapShards = 0;
+    uint32_t mapShard = 0;
+    ValueRef value;  ///< read result / CAS observed value
 
     size_t payloadSize() const override
     {
-        return 8 + 1 + 1 + 4 + 4 + value.size();
+        return 8 + 1 + 1 + 4 + 4 + 4 + 4 + value.size();
     }
+
+    size_t valueBytes() const override { return value.size(); }
 
     void
     serializePayload(BufWriter &writer) const override
@@ -86,7 +101,9 @@ struct ClientReplyMsg : Message
         writer.putU8(static_cast<uint8_t>(status));
         writer.putU8(ok ? 1 : 0);
         writer.putU32(shard);
-        writer.putString(value);
+        writer.putU32(mapShards);
+        writer.putU32(mapShard);
+        writer.putValue(value);
     }
 };
 

@@ -68,19 +68,33 @@ findDecoder(MsgType type)
 }
 
 void
-encodeMessage(const Message &msg, std::vector<uint8_t> &out)
+encodeMessageInto(const Message &msg, BufWriter &writer)
 {
-    BufWriter writer(out);
     writer.putU8(static_cast<uint8_t>(msg.type()));
     writer.putU32(msg.src);
     writer.putU32(msg.epoch);
     msg.serializePayload(writer);
 }
 
-std::shared_ptr<Message>
-decodeMessage(const uint8_t *data, size_t len)
+void
+encodeMessage(const Message &msg, std::vector<uint8_t> &out)
 {
-    BufReader reader(data, len);
+    BufWriter writer(out);
+    encodeMessageInto(msg, writer);
+}
+
+void
+encodeMessage(const Message &msg, WireFrame &frame)
+{
+    BufWriter writer(frame);
+    encodeMessageInto(msg, writer);
+}
+
+std::shared_ptr<Message>
+decodeMessage(const uint8_t *data, size_t len,
+              std::shared_ptr<const void> pin)
+{
+    BufReader reader(data, len, std::move(pin));
     auto type = static_cast<MsgType>(reader.getU8());
     NodeId src = reader.getU32();
     Epoch epoch = reader.getU32();

@@ -80,6 +80,13 @@ enum class MsgType : uint8_t
 const char *msgTypeName(MsgType type);
 
 /**
+ * Encoded envelope bytes (type u8 + src u32 + epoch u32), as written by
+ * encodeMessageInto(). Anything that computes an encoded frame's length
+ * up front (batch framing, wireSize) must use this, not a literal.
+ */
+constexpr size_t kEnvelopeBytes = 9;
+
+/**
  * Abstract message. Concrete subclasses add the payload fields and the
  * payload (de)serialization; the envelope (type, src, epoch) is handled
  * here.
@@ -100,12 +107,20 @@ class Message
 
     /**
      * Bytes this message occupies on the wire, including the envelope and
-     * a nominal transport header; drives the cost model.
+     * a nominal 7-byte transport header; drives the cost model.
      */
-    size_t wireSize() const { return 16 + payloadSize(); }
+    size_t wireSize() const { return kEnvelopeBytes + 7 + payloadSize(); }
 
     /** Payload-only size in bytes. */
     virtual size_t payloadSize() const = 0;
+
+    /**
+     * Bytes of application *value* payload this message carries (0 for
+     * header-only messages). Drives the cost model's software-copy charge:
+     * these are the bytes the zero-copy path stops copying on
+     * encode/decode.
+     */
+    virtual size_t valueBytes() const { return 0; }
 
     /** Serialize the payload (not the envelope) into @p writer. */
     virtual void serializePayload(BufWriter &writer) const = 0;
@@ -134,10 +149,26 @@ const MessageDecoder *findDecoder(MsgType type);
 void encodeMessage(const Message &msg, std::vector<uint8_t> &out);
 
 /**
+ * Scatter/gather encode: fixed fields into @p frame 's staging buffer,
+ * values above kZeroCopyThreshold registered as segments referencing the
+ * message's ValueRef buffers. Flattening the frame yields exactly the
+ * bytes the vector overload produces.
+ */
+void encodeMessage(const Message &msg, WireFrame &frame);
+
+/** Serialize envelope + payload through an existing writer (MsgBatch). */
+void encodeMessageInto(const Message &msg, BufWriter &writer);
+
+/**
  * Decode a frame body produced by encodeMessage.
+ * @param pin shared ownership of the buffer's backing slab; when set,
+ *            decoded values above kZeroCopyThreshold alias the slab
+ *            (the message keeps it alive) instead of being copied out.
  * @return nullptr if the frame is malformed or the type unknown.
  */
-std::shared_ptr<Message> decodeMessage(const uint8_t *data, size_t len);
+std::shared_ptr<Message> decodeMessage(const uint8_t *data, size_t len,
+                                       std::shared_ptr<const void> pin
+                                       = nullptr);
 
 } // namespace hermes::net
 

@@ -31,6 +31,22 @@ constexpr uint32_t kHelloClient = 1;
 constexpr uint8_t kFrameBatch = 0;
 constexpr uint8_t kFrameCredit = 1;
 
+/** One staged outbound message in scatter/gather form (shared: a
+ *  broadcast stages the same frame toward every destination). */
+using FramePtr = std::shared_ptr<const WireFrame>;
+
+/** A refcounted receive slab: decoded messages alias value bytes inside
+ *  it and keep it alive past the transport's recycle (shared_ptr). */
+using RecvSlab = std::shared_ptr<std::vector<uint8_t>>;
+
+FramePtr
+encodeFrame(const Message &msg)
+{
+    auto frame = std::make_shared<WireFrame>();
+    encodeMessage(msg, *frame);
+    return frame;
+}
+
 TimeNs
 steadyNowNs()
 {
@@ -54,21 +70,21 @@ setNoDelay(int fd)
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-/** Encode one message as a single-entry batch frame. */
+/** Flatten staged frames into one batch frame (copy fallback path). */
 void
-encodeBatchFrame(const std::vector<std::vector<uint8_t>> &messages,
+encodeBatchFrame(const std::vector<FramePtr> &messages,
                  std::vector<uint8_t> &out)
 {
     size_t body = 3; // kind + u16 count
-    for (const auto &m : messages)
-        body += 4 + m.size();
+    for (const FramePtr &m : messages)
+        body += 4 + m->size();
     BufWriter writer(out);
     writer.putU32(static_cast<uint32_t>(body));
     writer.putU8(kFrameBatch);
     writer.putU16(static_cast<uint16_t>(messages.size()));
-    for (const auto &m : messages) {
-        writer.putU32(static_cast<uint32_t>(m.size()));
-        writer.putRaw(m.data(), m.size());
+    for (const FramePtr &m : messages) {
+        writer.putU32(static_cast<uint32_t>(m->size()));
+        m->flattenTo(out);
     }
 }
 
@@ -130,13 +146,14 @@ class TcpCluster::NodeLoop
         void
         broadcast(const NodeSet &dsts, MessagePtr msg) override
         {
-            // Wings broadcast: one encode, many unicasts.
+            // Wings broadcast: one encode, many unicasts sharing the
+            // same gathered frame (and therefore the same value
+            // buffers — zero per-copy byte cost).
             const_cast<Message &>(*msg).src = loop_.id_;
-            std::vector<uint8_t> bytes;
-            encodeMessage(*msg, bytes);
+            FramePtr frame = encodeFrame(*msg);
             for (NodeId dst : dsts) {
                 if (dst != loop_.id_)
-                    loop_.stageEncoded(dst, bytes);
+                    loop_.stageEncoded(dst, frame);
             }
         }
 
@@ -230,13 +247,13 @@ class TcpCluster::NodeLoop
     LoopEnv &env() { return env_; }
 
     void
-    replyToClient(ClientConnId conn_id, std::vector<uint8_t> msg_bytes)
+    replyToClient(ClientConnId conn_id, FramePtr frame)
     {
-        post([this, conn_id, bytes = std::move(msg_bytes)] {
+        post([this, conn_id, frame = std::move(frame)] {
             auto it = clientConns_.find(conn_id);
             if (it == clientConns_.end())
                 return;
-            staged_[it->second].push_back(bytes);
+            staged_[it->second].push_back(std::move(frame));
         });
     }
 
@@ -248,11 +265,17 @@ class TcpCluster::NodeLoop
         NodeId peerId = kInvalidNode;       // valid when isPeer
         ClientConnId clientId = 0;          // valid when !isPeer
         bool helloDone = false;
-        std::vector<uint8_t> rx;
+        /**
+         * Receive slab. Refcounted: decoded messages alias value bytes
+         * inside it, so the slab is immutable while shared — the parse
+         * loop rolls over to a fresh slab instead of compacting in place
+         * whenever a decoded message still pins the current one.
+         */
+        RecvSlab rx;
         std::vector<uint8_t> tx;
         uint32_t sendCredits = 0;           // credits we hold toward peer
         uint32_t recvSinceCredit = 0;       // messages since credit return
-        std::deque<std::vector<uint8_t>> creditWait; // blocked on credits
+        std::deque<FramePtr> creditWait;    // blocked on credits
     };
 
     void
@@ -336,8 +359,12 @@ class TcpCluster::NodeLoop
             if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
                         sizeof(addr)) == 0) {
                 setNoDelay(fd);
-                // Blocking hello, then switch to non-blocking.
-                uint32_t hello[3] = {kHelloMagic, kHelloPeer, id_};
+                // Blocking hello (explicit LE), then switch to
+                // non-blocking.
+                uint8_t hello[12];
+                leStore32(hello, kHelloMagic);
+                leStore32(hello + 4, kHelloPeer);
+                leStore32(hello + 8, id_);
                 if (write(fd, hello, sizeof(hello)) !=
                         static_cast<ssize_t>(sizeof(hello))) {
                     close(fd);
@@ -418,24 +445,22 @@ class TcpCluster::NodeLoop
     stageToPeer(NodeId dst, const Message &msg)
     {
         const_cast<Message &>(msg).src = id_;
-        std::vector<uint8_t> bytes;
-        encodeMessage(msg, bytes);
-        stageEncoded(dst, bytes);
+        stageEncoded(dst, encodeFrame(msg));
     }
 
     void
-    stageEncoded(NodeId dst, const std::vector<uint8_t> &bytes)
+    stageEncoded(NodeId dst, FramePtr frame)
     {
         auto it = peerFd_.find(dst);
         if (it == peerFd_.end())
             return; // peer gone: manifests as message loss, as designed
         Conn &conn = conns_[it->second];
         if (conn.sendCredits == 0) {
-            conn.creditWait.push_back(bytes);
+            conn.creditWait.push_back(std::move(frame));
             return;
         }
         --conn.sendCredits;
-        staged_[it->second].push_back(bytes);
+        staged_[it->second].push_back(std::move(frame));
     }
 
     /** Coalesce everything staged this iteration into batch frames. */
@@ -455,43 +480,47 @@ class TcpCluster::NodeLoop
 
     /**
      * One writev-style flush: the frame header, the per-message length
-     * prefixes and the staged message bodies gather into a single
-     * syscall, with no intermediate copy into the tx buffer. Falls back
-     * to the copy path when ordering (a backlogged tx) or iovec limits
-     * require it.
+     * prefixes, each message's staged fixed fields AND its gathered
+     * value buffers (KVS snapshots, receive slabs being relayed) go out
+     * in a single syscall with no intermediate copy — the scatter/gather
+     * send half of the zero-copy value path. Falls back to the flatten
+     * path when ordering (a backlogged tx) or iovec limits require it.
      */
     void
-    writeStaged(Conn &conn, const std::vector<std::vector<uint8_t>> &messages)
+    writeStaged(Conn &conn, const std::vector<FramePtr> &messages)
     {
         // A pending backlog must drain first to preserve byte order; and
-        // 2 iovecs per message must stay clear of IOV_MAX (1024).
-        if (!conn.tx.empty() || messages.size() > 400) {
+        // the gathered iovec list must stay clear of IOV_MAX (1024).
+        size_t iovNeeded = 1;
+        for (const FramePtr &m : messages)
+            iovNeeded += 1 + m->iovecCount();
+        if (!conn.tx.empty() || iovNeeded > 1000) {
             encodeBatchFrame(messages, conn.tx);
             tryWrite(conn);
             return;
         }
 
         size_t body = 3; // kind + u16 count
-        for (const auto &m : messages)
-            body += 4 + m.size();
+        for (const FramePtr &m : messages)
+            body += 4 + m->size();
         uint8_t header[7];
-        auto body32 = static_cast<uint32_t>(body);
-        std::memcpy(header, &body32, 4);
+        leStore32(header, static_cast<uint32_t>(body));
         header[4] = kFrameBatch;
-        auto count = static_cast<uint16_t>(messages.size());
-        std::memcpy(header + 5, &count, 2);
+        leStore16(header + 5, static_cast<uint16_t>(messages.size()));
 
-        std::vector<uint32_t> lens(messages.size());
+        std::vector<uint8_t> lens(4 * messages.size());
         std::vector<iovec> iov;
-        iov.reserve(1 + 2 * messages.size());
+        iov.reserve(iovNeeded);
         iov.push_back({header, sizeof(header)});
         size_t total = sizeof(header);
         for (size_t i = 0; i < messages.size(); ++i) {
-            lens[i] = static_cast<uint32_t>(messages[i].size());
-            iov.push_back({&lens[i], sizeof(uint32_t)});
-            iov.push_back({const_cast<uint8_t *>(messages[i].data()),
-                           messages[i].size()});
-            total += sizeof(uint32_t) + messages[i].size();
+            size_t msg_len = messages[i]->size();
+            leStore32(lens.data() + 4 * i, static_cast<uint32_t>(msg_len));
+            iov.push_back({lens.data() + 4 * i, 4});
+            messages[i]->forEachRun([&iov](const void *data, size_t len) {
+                iov.push_back({const_cast<void *>(data), len});
+            });
+            total += 4 + msg_len;
         }
 
         ssize_t n = writev(conn.fd, iov.data(), static_cast<int>(iov.size()));
@@ -542,11 +571,24 @@ class TcpCluster::NodeLoop
         if (it == conns_.end())
             return;
         Conn &conn = it->second;
+        // The slab must be exclusively ours before appending: growing a
+        // vector a decoded message aliases would move its bytes out from
+        // under live ValueRefs. parseRx already maintains that invariant
+        // (it rolls a shared slab over to a fresh one at end of parse,
+        // and pins only exist once a frame fully parsed), so the copy
+        // branch below is unreachable defense-in-depth — if a future
+        // change ever leaves a shared slab behind, we degrade to one
+        // defensive copy instead of silent use-after-move corruption.
+        if (!conn.rx) {
+            conn.rx = std::make_shared<std::vector<uint8_t>>();
+        } else if (conn.rx.use_count() > 1) {
+            conn.rx = std::make_shared<std::vector<uint8_t>>(*conn.rx);
+        }
         uint8_t buf[65536];
         for (;;) {
             ssize_t n = read(fd, buf, sizeof(buf));
             if (n > 0) {
-                conn.rx.insert(conn.rx.end(), buf, buf + n);
+                conn.rx->insert(conn.rx->end(), buf, buf + n);
             } else if (n == 0) {
                 closeConn(fd);
                 return;
@@ -564,18 +606,21 @@ class TcpCluster::NodeLoop
     parseRx(int fd)
     {
         auto connIt = conns_.find(fd);
-        if (connIt == conns_.end())
+        if (connIt == conns_.end() || !connIt->second.rx)
             return;
         Conn &conn = connIt->second;
+        // Pin the slab locally: handleFrame may close the connection
+        // (dropping conn.rx) while frames inside it are still being
+        // walked, and decoded messages alias into it.
+        RecvSlab slab = conn.rx;
         size_t off = 0;
 
         if (!conn.helloDone) {
-            if (conn.rx.size() < 12)
+            if (slab->size() < 12)
                 return;
-            uint32_t magic, kind, sender;
-            std::memcpy(&magic, conn.rx.data(), 4);
-            std::memcpy(&kind, conn.rx.data() + 4, 4);
-            std::memcpy(&sender, conn.rx.data() + 8, 4);
+            uint32_t magic = leLoad32(slab->data());
+            uint32_t kind = leLoad32(slab->data() + 4);
+            uint32_t sender = leLoad32(slab->data() + 8);
             if (magic != kHelloMagic) {
                 closeConn(fd);
                 return;
@@ -594,27 +639,39 @@ class TcpCluster::NodeLoop
             }
         }
 
-        while (conn.rx.size() - off >= 4) {
-            uint32_t frame_len;
-            std::memcpy(&frame_len, conn.rx.data() + off, 4);
-            if (conn.rx.size() - off - 4 < frame_len)
+        while (slab->size() - off >= 4) {
+            uint32_t frame_len = leLoad32(slab->data() + off);
+            if (slab->size() - off - 4 < frame_len)
                 break;
-            handleFrame(fd, conn.rx.data() + off + 4, frame_len);
+            handleFrame(fd, slab, slab->data() + off + 4, frame_len);
             // handleFrame may close the connection; revalidate.
             connIt = conns_.find(fd);
             if (connIt == conns_.end())
                 return;
             off += 4 + frame_len;
         }
-        if (off > 0)
-            conn.rx.erase(conn.rx.begin(), conn.rx.begin() + off);
+        if (off == 0)
+            return;
+        // use_count == 2 means only this frame's pin (slab) and conn.rx
+        // hold the slab — safe to compact in place. Anything higher is a
+        // decoded message still aliasing it.
+        if (slab.use_count() > 2) {
+            // Some decoded message aliases this slab: it is immutable
+            // now. Roll over to a fresh slab holding only the unparsed
+            // tail; the old slab lives for as long as its messages do.
+            conn.rx = std::make_shared<std::vector<uint8_t>>(
+                slab->begin() + off, slab->end());
+        } else {
+            conn.rx->erase(conn.rx->begin(), conn.rx->begin() + off);
+        }
     }
 
     void
-    handleFrame(int fd, const uint8_t *data, size_t len)
+    handleFrame(int fd, const RecvSlab &slab, const uint8_t *data,
+                size_t len)
     {
         Conn &conn = conns_[fd];
-        BufReader reader(data, len);
+        BufReader reader(data, len, slab);
         uint8_t kind = reader.getU8();
         if (kind == kFrameCredit) {
             uint32_t credits = reader.getU32();
@@ -636,11 +693,12 @@ class TcpCluster::NodeLoop
             uint32_t msg_len = reader.getU32();
             if (!reader.ok() || reader.remaining() < msg_len)
                 return;
-            std::vector<uint8_t> body(msg_len);
-            for (uint32_t b = 0; b < msg_len; ++b)
-                body[b] = reader.getU8();
+            // Decode in place: no body staging copy, and values above
+            // the zero-copy threshold alias the slab (the message pins
+            // it alive via its ValueRefs).
             std::shared_ptr<Message> msg =
-                decodeMessage(body.data(), body.size());
+                decodeMessage(reader.cursor(), msg_len, slab);
+            reader.skip(msg_len);
             if (!msg)
                 continue;
             if (conn.isPeer) {
@@ -752,7 +810,7 @@ class TcpCluster::NodeLoop
     std::map<int, Conn> conns_;
     std::map<NodeId, int> peerFd_;
     std::map<ClientConnId, int> clientConns_;
-    std::map<int, std::vector<std::vector<uint8_t>>> staged_;
+    std::map<int, std::vector<FramePtr>> staged_;
     ClientConnId nextClientId_ = 1;
 
     std::mutex injectMutex_;
@@ -848,10 +906,8 @@ TcpCluster::post(NodeId id, std::function<void()> fn)
 void
 TcpCluster::replyToClient(NodeId id, ClientConnId conn, const Message &msg)
 {
-    std::vector<uint8_t> bytes;
     const_cast<Message &>(msg).src = id;
-    encodeMessage(msg, bytes);
-    loops_.at(id)->replyToClient(conn, std::move(bytes));
+    loops_.at(id)->replyToClient(conn, encodeFrame(msg));
 }
 
 void
@@ -883,7 +939,10 @@ TcpClient::TcpClient(uint16_t port) : fd_(-1)
         if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
                     sizeof(addr)) == 0) {
             setNoDelay(fd);
-            uint32_t hello[3] = {kHelloMagic, kHelloClient, 0};
+            uint8_t hello[12];
+            leStore32(hello, kHelloMagic);
+            leStore32(hello + 4, kHelloClient);
+            leStore32(hello + 8, 0);
             if (write(fd, hello, sizeof(hello)) ==
                     static_cast<ssize_t>(sizeof(hello))) {
                 fd_ = fd;
@@ -908,9 +967,7 @@ TcpClient::call(const Message &request, DurationNs timeout)
     if (fd_ < 0)
         return nullptr;
 
-    std::vector<uint8_t> body;
-    encodeMessage(request, body);
-    std::vector<std::vector<uint8_t>> batch{std::move(body)};
+    std::vector<FramePtr> batch{encodeFrame(request)};
     std::vector<uint8_t> frame;
     encodeBatchFrame(batch, frame);
     size_t written = 0;
@@ -926,8 +983,7 @@ TcpClient::call(const Message &request, DurationNs timeout)
     for (;;) {
         // Try to parse one full frame from what we have.
         while (rxBuf_.size() >= 4) {
-            uint32_t frame_len;
-            std::memcpy(&frame_len, rxBuf_.data(), 4);
+            uint32_t frame_len = leLoad32(rxBuf_.data());
             if (rxBuf_.size() - 4 < frame_len)
                 break;
             BufReader reader(rxBuf_.data() + 4, frame_len);
@@ -939,10 +995,10 @@ TcpClient::call(const Message &request, DurationNs timeout)
                     uint32_t msg_len = reader.getU32();
                     if (!reader.ok() || reader.remaining() < msg_len)
                         break;
-                    std::vector<uint8_t> msg_body(msg_len);
-                    for (uint32_t b = 0; b < msg_len; ++b)
-                        msg_body[b] = reader.getU8();
-                    result = decodeMessage(msg_body.data(), msg_body.size());
+                    // No pin: the client's rx buffer is compacted below,
+                    // so decoded values are deep-copied out of it.
+                    result = decodeMessage(reader.cursor(), msg_len);
+                    reader.skip(msg_len);
                 }
             }
             rxBuf_.erase(rxBuf_.begin(), rxBuf_.begin() + 4 + frame_len);

@@ -13,6 +13,12 @@
  *    are a degenerate case the protocols get for free).
  *  - *Broadcast primitive*: a series of unicasts sharing one encoded
  *    payload buffer.
+ *  - *Zero-copy value path*: staged frames are scatter/gather
+ *    (`WireFrame`) — each per-peer flush writev-gathers fixed fields
+ *    and `ValueRef` value buffers directly, and the receive side
+ *    decodes out of refcounted slabs that decoded messages alias
+ *    (values above kZeroCopyThreshold are never copied between the
+ *    socket and the KVS entry).
  *
  * Each node runs one event-loop thread (poll + timer heap + an injection
  * queue for cross-thread calls). External clients connect to any node's

@@ -97,6 +97,53 @@ struct CostModel
      */
     DurationNs batchPerMsgRecvNs = 60;
 
+    // ---- Zero-copy value path (common/value_ref.hh, net/tcp_cluster) ----
+    //
+    // The RDMA data path the paper rides moves values without software
+    // copies; the reproduction's wire path does the same by default
+    // (scatter/gather encode, slab-aliasing decode, one memcpy into the
+    // KVS entry under the seqlock). The knob below lets the ablation
+    // bench charge what the legacy copy path cost instead: per hop, the
+    // copy path touched the value two extra times on the send side
+    // (message construction + encode into the frame) and two extra times
+    // on the receive side (frame body staging + decode into a string).
+
+    /**
+     * Per-byte CPU cost of one software copy of value payload
+     * (cache-disturbing small-block memcpy, not streaming bandwidth).
+     */
+    double copyPerByteNs = 0.2;
+    /**
+     * Zero-copy value path on (default): encode/decode alias value
+     * buffers and no per-copy charge applies. Off = charge the legacy
+     * copy path's extra copies, for the ablation sweep.
+     */
+    bool zeroCopy = true;
+    /** Extra value copies per send (msg construction + frame encode). */
+    unsigned copiesOnSend = 2;
+    /** Extra value copies per receive (body staging + string decode). */
+    unsigned copiesOnRecv = 2;
+
+    /** Sender-side copy charge for @p value_bytes of value payload. */
+    DurationNs
+    sendCopyCost(size_t value_bytes) const
+    {
+        if (zeroCopy || value_bytes == 0)
+            return 0;
+        return static_cast<DurationNs>(copiesOnSend * copyPerByteNs
+                                       * value_bytes);
+    }
+
+    /** Receiver-side copy charge for @p value_bytes of value payload. */
+    DurationNs
+    recvCopyCost(size_t value_bytes) const
+    {
+        if (zeroCopy || value_bytes == 0)
+            return 0;
+        return static_cast<DurationNs>(copiesOnRecv * copyPerByteNs
+                                       * value_bytes);
+    }
+
     /** True when the knobs describe a usable batching window. */
     bool
     batchingEnabled() const

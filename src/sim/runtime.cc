@@ -85,7 +85,8 @@ SimRuntime::SimRuntime(size_t nodes, const CostModel &cost, uint64_t seed)
         if (msg->type() == net::MsgType::MsgBatch) {
             const auto &batch = static_cast<const net::BatchMsg &>(*msg);
             DurationNs svc =
-                cost_.batchedRecvCost(msg->wireSize(), batch.msgs.size());
+                cost_.batchedRecvCost(msg->wireSize(), batch.msgs.size())
+                + cost_.recvCopyCost(msg->valueBytes());
             submit(dst, svc, [this, dst, msg = std::move(msg)] {
                 if (!nodes_[dst])
                     return;
@@ -95,7 +96,8 @@ SimRuntime::SimRuntime(size_t nodes, const CostModel &cost, uint64_t seed)
             });
             return;
         }
-        DurationNs svc = cost_.recvCost(msg->wireSize());
+        DurationNs svc = cost_.recvCost(msg->wireSize())
+                         + cost_.recvCopyCost(msg->valueBytes());
         submit(dst, svc, [this, dst, msg = std::move(msg)] {
             if (nodes_[dst])
                 nodes_[dst]->onMessage(msg);
@@ -223,6 +225,7 @@ SimRuntime::sendFromNode(NodeId src, NodeId dst, net::MessagePtr msg)
     } else {
         jobSendAccum_ += cost_.sendCost(msg->wireSize());
     }
+    jobSendAccum_ += cost_.sendCopyCost(msg->valueBytes());
     const_cast<net::Message &>(*msg).src = src;
     network_.send(src, dst, std::move(msg), jobExecTime_ + jobSendAccum_);
 }
@@ -238,7 +241,10 @@ SimRuntime::broadcastFromNode(NodeId src, const NodeSet &dsts,
         fanout += dst != src;
     if (fanout == 0)
         return;
-    jobSendAccum_ += cost_.broadcastCost(msg->wireSize(), fanout);
+    // One shared encode per broadcast payload: the copy charge (when
+    // the zero-copy path is ablated off) is paid once, not per copy.
+    jobSendAccum_ += cost_.broadcastCost(msg->wireSize(), fanout)
+                     + cost_.sendCopyCost(msg->valueBytes());
     TimeNs depart = jobExecTime_ + jobSendAccum_;
     for (NodeId dst : dsts) {
         if (dst != src)

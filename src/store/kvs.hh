@@ -37,6 +37,7 @@
 #include "common/random.hh"
 #include "common/timestamp.hh"
 #include "common/types.hh"
+#include "common/value_ref.hh"
 #include "store/seqlock.hh"
 
 namespace hermes::store
@@ -73,7 +74,14 @@ class KeyRecord
     setValue(std::string_view v)
     {
         hermes_assert(v.size() <= cap_);
-        std::memcpy(data_, v.data(), v.size());
+        // On the zero-copy receive path this memcpy is the value's ONLY
+        // copy after the wire: the decoded message aliases the transport
+        // slab and the bytes land here, under the seqlock, exactly once.
+        // The size guard keeps a default string_view's null data() out
+        // of memcpy (nonnull-attribute UB).
+        ValueCopyCounters::countStoreCopy();
+        if (!v.empty())
+            std::memcpy(data_, v.data(), v.size());
         *len_ = v.size();
     }
 

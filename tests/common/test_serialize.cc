@@ -35,6 +35,75 @@ TEST(Serialize, ScalarRoundTrip)
     EXPECT_TRUE(reader.exhausted());
 }
 
+TEST(Serialize, GoldenBytesAreLittleEndian)
+{
+    // Frozen wire bytes: the header promises little-endian and the TCP
+    // format must be portable across host endiannesses, so the exact
+    // byte sequence is pinned here. These literals were written from the
+    // LE spec, not generated from the implementation under test — any
+    // codec change that shuffles bytes must fail this test loudly.
+    std::vector<uint8_t> buf;
+    BufWriter writer(buf);
+    writer.putU8(0x01);
+    writer.putU16(0x2345);
+    writer.putU32(0x6789ABCD);
+    writer.putU64(0x0F1E2D3C4B5A6978ull);
+    writer.putString("hi");
+
+    const uint8_t expected[] = {
+        0x01,                                           // u8
+        0x45, 0x23,                                     // u16 LE
+        0xCD, 0xAB, 0x89, 0x67,                         // u32 LE
+        0x78, 0x69, 0x5A, 0x4B, 0x3C, 0x2D, 0x1E, 0x0F, // u64 LE
+        0x02, 0x00, 0x00, 0x00, 'h', 'i',               // len-prefixed
+    };
+    ASSERT_EQ(buf.size(), sizeof(expected));
+    for (size_t i = 0; i < sizeof(expected); ++i)
+        EXPECT_EQ(buf[i], expected[i]) << "byte " << i;
+
+    // And the decode side agrees with the same frozen bytes.
+    BufReader reader(expected, sizeof(expected));
+    EXPECT_EQ(reader.getU8(), 0x01);
+    EXPECT_EQ(reader.getU16(), 0x2345);
+    EXPECT_EQ(reader.getU32(), 0x6789ABCDu);
+    EXPECT_EQ(reader.getU64(), 0x0F1E2D3C4B5A6978ull);
+    EXPECT_EQ(reader.getString(), "hi");
+    EXPECT_TRUE(reader.exhausted());
+
+    // The standalone LE helpers (used by the TCP frame headers) match.
+    uint8_t scratch[8];
+    leStore32(scratch, 0x6789ABCD);
+    EXPECT_EQ(std::memcmp(scratch, expected + 3, 4), 0);
+    EXPECT_EQ(leLoad32(scratch), 0x6789ABCDu);
+    leStore16(scratch, 0x2345);
+    EXPECT_EQ(std::memcmp(scratch, expected + 1, 2), 0);
+    EXPECT_EQ(leLoad16(scratch), 0x2345);
+    leStore64(scratch, 0x0F1E2D3C4B5A6978ull);
+    EXPECT_EQ(std::memcmp(scratch, expected + 7, 8), 0);
+    EXPECT_EQ(leLoad64(scratch), 0x0F1E2D3C4B5A6978ull);
+}
+
+TEST(Serialize, ValueRoundTripMatchesStringWireFormat)
+{
+    // putValue/getValue are wire-compatible with putString/getString:
+    // the zero-copy path changes who owns the bytes, never the bytes.
+    std::vector<uint8_t> viaString, viaValue;
+    const std::string payload(300, 'z');
+    {
+        BufWriter writer(viaString);
+        writer.putString(payload);
+    }
+    {
+        BufWriter writer(viaValue);
+        writer.putValue(ValueRef(payload));
+    }
+    EXPECT_EQ(viaString, viaValue);
+
+    BufReader reader(viaValue.data(), viaValue.size());
+    EXPECT_EQ(reader.getValue(), payload);
+    EXPECT_TRUE(reader.exhausted());
+}
+
 TEST(Serialize, UnderrunSetsNotOk)
 {
     std::vector<uint8_t> buf{1, 2};

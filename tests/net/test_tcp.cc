@@ -205,6 +205,50 @@ TEST(TcpCluster, WrongShardRequestsAreRejectedExplicitly)
     EXPECT_EQ(check.read(owned).value_or("?"), "still-right");
 }
 
+TEST(TcpCluster, StaleShardMapSelfHealsWithOneRetry)
+{
+    // A client whose shard *count* is stale but whose key really lives
+    // on the connected group: the first request is rejected WrongShard,
+    // the reply advertises the service's map (mapShards/mapShard), and
+    // the client re-resolves + retries once — the call succeeds and the
+    // caller never sees the stale-map hiccup.
+    net::TcpConfig config;
+    config.basePort = freeBasePort(8);
+    const size_t kShards = 4;
+    // A key owned by shard 0 under the real 4-way map but stamped for a
+    // different shard under a stale 3-way map. (A stale count of 2 would
+    // never disagree on shard-0 keys: hash % 4 == 0 implies
+    // hash % 2 == 0.)
+    Key healable = 0;
+    for (Key k = 1; !healable; ++k) {
+        if (app::shardOfKey(k, kShards) == 0 && app::shardOfKey(k, 3) != 0)
+            healable = k;
+    }
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config,
+                         kShards, /*shard_id=*/0);
+    service.start();
+
+    KvClient stale(service.portOf(0), /*num_shards=*/3);
+    ASSERT_TRUE(stale.connected());
+    EXPECT_EQ(stale.numShards(), 3u);
+    ASSERT_TRUE(stale.write(healable, "healed"))
+        << "stale map should re-resolve and retry, not surface";
+    EXPECT_EQ(stale.lastStatus(), net::ClientReplyMsg::Status::Ok);
+    // The client adopted the service's shard count for future calls.
+    EXPECT_EQ(stale.numShards(), kShards);
+    EXPECT_EQ(stale.read(healable).value_or("?"), "healed");
+
+    // A key that genuinely lives on another group still surfaces
+    // WrongShard (re-resolution cannot route it to this group).
+    Key foreign = 0;
+    for (Key k = 1; !foreign; ++k) {
+        if (app::shardOfKey(k, kShards) != 0)
+            foreign = k;
+    }
+    EXPECT_FALSE(stale.write(foreign, "lost"));
+    EXPECT_EQ(stale.lastStatus(), net::ClientReplyMsg::Status::WrongShard);
+}
+
 TEST(TcpCluster, SurvivesFollowerKill)
 {
     // Kill a follower: Hermes writes block on its ACK until the view is
