@@ -3,11 +3,15 @@
  * A real-network deployment: 3 Hermes replicas on localhost TCP (Wings
  * framing with opportunistic batching + credit flow control), serving
  * external blocking clients — the library as an adoptable KV service.
+ * Part two shards the key space: a ShardedTcpDeployment of 2×3 replicas
+ * behind an address map negotiated at client HELLO, with a deliberately
+ * stale client healing itself through the WrongShard reroute loop.
  */
 
 #include <chrono>
 #include <cstdio>
 
+#include "app/cluster.hh"
 #include "app/tcp_service.hh"
 
 using namespace hermes;
@@ -57,5 +61,36 @@ main()
                 bob.read(100 + (kOps - 1) % 50).value_or("?").c_str());
     service.stop();
     std::printf("service stopped.\n");
+
+    // ---- Sharded deployment: 2 shards x 3 replicas, one process ----
+    std::printf("\nstarting a 2-shard deployment (3 replicas each)...\n");
+    tcp.basePort = 19800;
+    app::ShardedTcpDeployment deployment(app::Protocol::Hermes, 2, 3,
+                                         options, tcp);
+    deployment.start();
+    for (uint32_t s = 0; s < 2; ++s)
+        std::printf("  shard %u on ports %u-%u\n", s,
+                    deployment.portOf(s, 0), deployment.portOf(s, 2));
+
+    // A fresh client learns the full shard -> address map at HELLO and
+    // routes every op to the group owning its key.
+    app::KvClient carol(deployment.portOf(0, 0));
+    carol.write(7, "routed-to-shard-" + std::to_string(
+                       app::shardOfKey(7, deployment.numShards())));
+    std::printf("carol wrote key 7 (owner: shard %u): '%s'\n",
+                app::shardOfKey(7, deployment.numShards()),
+                carol.read(7).value_or("?").c_str());
+
+    // A stale client that still believes the key space is unsharded: its
+    // first op lands on the wrong group, is rejected with WrongShard plus
+    // the authoritative map, and the client reconnects to the real owner
+    // and retries -- the reroute loop in action.
+    app::KvClient stale(deployment.portOf(1, 0), /*num_shards=*/1);
+    std::string healed_read = stale.read(7).value_or("?");
+    std::printf("stale client (thinks S=1) reads key 7: '%s' "
+                "(healed to S=%zu after one redirect)\n",
+                healed_read.c_str(), stale.numShards());
+    deployment.stop();
+    std::printf("deployment stopped.\n");
     return 0;
 }

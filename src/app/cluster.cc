@@ -10,7 +10,7 @@ uint32_t
 shardOfKey(Key key, size_t num_shards)
 {
     if (num_shards <= 1)
-        return 0;
+        return 0; // also the 0 = unknown-map degenerate case: never % 0
     // SplitMix64 over the key: a stable, well-mixed pure function, so
     // every client and every node computes the same owner with no
     // coordination. Keys are often small dense integers; the mix spreads

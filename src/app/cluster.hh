@@ -28,7 +28,9 @@ namespace hermes::app
 /**
  * Stable key → shard hash. A pure function of (key, numShards): the same
  * on every node and across runs, which is what makes client-side routing
- * coordination-free.
+ * coordination-free. num_shards <= 1 (including 0, an unknown/garbage
+ * client map) degenerates to shard 0 — callers never divide by a stamp;
+ * services additionally reject a disagreeing count before hashing at all.
  */
 uint32_t shardOfKey(Key key, size_t num_shards);
 

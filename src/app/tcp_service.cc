@@ -15,6 +15,7 @@ TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
     : cluster_(nodes, config), numShards_(num_shards ? num_shards : 1),
       shardId_(shard_id)
 {
+    hermes_assert(shardId_ < numShards_);
     net::registerClientCodecs();
     membership::MembershipView initial = membership::initialView(nodes);
     for (size_t i = 0; i < nodes; ++i) {
@@ -48,6 +49,26 @@ TcpKvService::stop()
 }
 
 void
+TcpKvService::setDeploymentMap(ShardAddressMap map)
+{
+    hermes_assert(map.size() == numShards_);
+    deploymentMap_ = std::move(map);
+}
+
+ShardAddressMap
+TcpKvService::advertisedMap() const
+{
+    if (!deploymentMap_.empty())
+        return deploymentMap_;
+    // Standalone group: all this service can vouch for is itself.
+    ShardAddressMap map(numShards_);
+    ShardPorts &own = map.at(shardId_);
+    for (size_t i = 0; i < replicas_.size(); ++i)
+        own.push_back(cluster_.portOf(static_cast<NodeId>(i)));
+    return map;
+}
+
+void
 TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
                                 const std::shared_ptr<net::Message> &msg)
 {
@@ -58,20 +79,34 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     uint64_t req_id = request.reqId;
     uint32_t shard = request.shard;
 
-    // Every reply carries the serving group's shard map (count + id):
-    // on a WrongShard rejection this is what the client re-resolves its
-    // routing from.
+    // Every reply carries the serving group's shard map (count + id);
+    // HELLO and WrongShard replies additionally carry the full address
+    // map, which is what the client re-resolves its routing from.
     auto stampMap = [this](ClientReplyMsg &reply) {
         reply.mapShards = static_cast<uint32_t>(numShards_);
         reply.mapShard = shardId_;
     };
 
-    // Shard-map agreement check: the stamp must name this group's shard
-    // AND the key must hash there under this group's map. A client with a
-    // stale map (different shard count, or routed to the wrong group)
-    // gets an explicit rejection — silently serving the key here would
-    // split its history across groups.
-    if (shard != shardId_
+    // HELLO negotiation: no register op, just the deployment map.
+    if (request.op == ClientRequestMsg::Op::Hello) {
+        ClientReplyMsg reply;
+        reply.reqId = req_id;
+        reply.shard = shard;
+        stampMap(reply);
+        reply.mapPorts = advertisedMap();
+        cluster_.replyToClient(node, conn, reply);
+        return;
+    }
+
+    // Shard-map agreement checks, cheapest first and every one BEFORE
+    // the key is hashed or anything is indexed: (1) the client's shard
+    // *count* must agree with ours — a stale or garbage count (0, or
+    // another deployment generation) would otherwise alias arbitrary
+    // routes; (2) the stamp must name this group's shard; (3) the key
+    // must hash here under the agreed map. A client failing any of them
+    // gets an explicit rejection carrying the full address map — never
+    // an assert, and never a silently split history.
+    if (request.numShards != numShards_ || shard != shardId_
             || shardOfKey(request.key, numShards_) != shardId_) {
         ClientReplyMsg reply;
         reply.reqId = req_id;
@@ -79,6 +114,7 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         reply.ok = false;
         reply.status = ClientReplyMsg::Status::WrongShard;
         stampMap(reply);
+        reply.mapPorts = advertisedMap();
         cluster_.replyToClient(node, conn, reply);
         return;
     }
@@ -122,37 +158,223 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
                         cluster_.replyToClient(node, conn, reply);
                     });
         break;
+      case ClientRequestMsg::Op::Hello:
+        break; // handled above
     }
+}
+
+// ---------------------------------------------------------------------
+// ShardedTcpDeployment
+// ---------------------------------------------------------------------
+
+ShardedTcpDeployment::ShardedTcpDeployment(Protocol protocol, size_t shards,
+                                           size_t replicas_per_shard,
+                                           ReplicaOptions options,
+                                           net::TcpConfig config)
+    : replicasPerShard_(replicas_per_shard)
+{
+    hermes_assert(shards > 0 && replicas_per_shard > 0);
+    for (size_t s = 0; s < shards; ++s) {
+        net::TcpConfig group = config;
+        group.basePort = static_cast<uint16_t>(
+            config.basePort + s * replicas_per_shard);
+        groups_.push_back(std::make_unique<TcpKvService>(
+            protocol, replicas_per_shard, options, group, shards,
+            static_cast<uint32_t>(s)));
+    }
+    map_.resize(shards);
+    for (size_t s = 0; s < shards; ++s) {
+        for (size_t r = 0; r < replicas_per_shard; ++r)
+            map_[s].push_back(groups_[s]->portOf(static_cast<NodeId>(r)));
+    }
+    for (auto &group : groups_)
+        group->setDeploymentMap(map_);
+}
+
+void
+ShardedTcpDeployment::start()
+{
+    for (auto &group : groups_)
+        group->start();
+}
+
+void
+ShardedTcpDeployment::stop()
+{
+    for (auto &group : groups_)
+        group->stop();
+}
+
+// ---------------------------------------------------------------------
+// KvClient
+// ---------------------------------------------------------------------
+
+KvClient::KvClient(uint16_t seed_port, size_t num_shards)
+    : seedPort_(seed_port),
+      seed_(std::make_unique<net::TcpClient>(seed_port)),
+      numShards_(num_shards)
+{
+    net::registerClientCodecs();
+    if (num_shards == 0) {
+        // HELLO negotiation: adopt the deployment's map up front. A
+        // service that never answers leaves us with the unsharded
+        // default (and WrongShard replies will teach us later).
+        numShards_ = 1;
+        resolveMapFromSeed();
+    }
+}
+
+bool
+KvClient::connected() const
+{
+    return seed_ && seed_->connected();
+}
+
+void
+KvClient::resolveMapFromSeed()
+{
+    if (!connected())
+        return;
+    ClientRequestMsg hello;
+    hello.op = ClientRequestMsg::Op::Hello;
+    hello.numShards = static_cast<uint32_t>(numShards_);
+    auto reply = callOn(*seed_, hello, 2_s);
+    if (reply)
+        adoptMap(static_cast<ClientReplyMsg &>(*reply), /*via_seed=*/true);
+}
+
+bool
+KvClient::adoptMap(const ClientReplyMsg &reply, bool via_seed)
+{
+    if (reply.mapShards == 0)
+        return false; // a service that advertises nothing teaches nothing
+    bool learned = false;
+    if (reply.mapShards != numShards_) {
+        numShards_ = reply.mapShards;
+        // Cached per-shard connections were routed by the old map; a
+        // shard id means something different now.
+        conns_.clear();
+        learned = true;
+    }
+    if (via_seed && (!seedShardKnown_ || seedShard_ != reply.mapShard)) {
+        seedShardKnown_ = true;
+        seedShard_ = reply.mapShard;
+        learned = true;
+    }
+    if (!reply.mapPorts.empty()) {
+        if (addrs_.size() != reply.mapPorts.size()) {
+            addrs_.resize(reply.mapPorts.size());
+            learned = true;
+        }
+        for (size_t s = 0; s < reply.mapPorts.size(); ++s) {
+            // Merge: a standalone group advertises only its own entry;
+            // keep addresses other replies taught us.
+            if (!reply.mapPorts[s].empty()
+                    && reply.mapPorts[s] != addrs_[s]) {
+                addrs_[s] = reply.mapPorts[s];
+                learned = true;
+            }
+        }
+    }
+    return learned;
+}
+
+net::TcpClient *
+KvClient::connectionFor(uint32_t shard)
+{
+    if (seedShardKnown_ && shard == seedShard_ && connected())
+        return seed_.get();
+    auto it = conns_.find(shard);
+    if (it != conns_.end() && it->second->connected())
+        return it->second.get();
+    conns_.erase(shard);
+    if (shard < addrs_.size()) {
+        for (uint16_t port : addrs_[shard]) {
+            if (port == seedPort_ && connected()) {
+                // The seed turns out to be a replica of this shard.
+                seedShardKnown_ = true;
+                seedShard_ = shard;
+                return seed_.get();
+            }
+            // Few dial attempts: the deployment is already up when a
+            // map advertises it, so a refusing port means a dead
+            // replica — fail over to the next one fast.
+            auto conn = std::make_unique<net::TcpClient>(port, 3);
+            if (conn->connected()) {
+                net::TcpClient *raw = conn.get();
+                conns_[shard] = std::move(conn);
+                return raw;
+            }
+        }
+    }
+    // No (live) address for the shard: fall back to the seed, whose
+    // WrongShard rejection carries the map that teaches us the route.
+    return connected() ? seed_.get() : nullptr;
+}
+
+std::shared_ptr<net::Message>
+KvClient::callOn(net::TcpClient &conn, ClientRequestMsg &request,
+                 DurationNs timeout)
+{
+    request.reqId = nextReqId_++;
+    auto reply = conn.call(request, timeout, request.reqId);
+    if (!reply || reply->type() != net::MsgType::ClientReply)
+        return nullptr;
+    return reply;
 }
 
 std::shared_ptr<net::Message>
 KvClient::callRerouting(ClientRequestMsg &request, DurationNs timeout)
 {
     lastStatus_ = ClientReplyMsg::Status::Ok;
-    request.shard = shardOfKey(request.key, numShards_);
-    request.reqId = nextReqId_++;
-    auto reply = client_.call(request, timeout);
-    if (!reply || reply->type() != net::MsgType::ClientReply)
-        return nullptr;
-    auto *r = static_cast<ClientReplyMsg *>(reply.get());
-    if (r->status == ClientReplyMsg::Status::WrongShard
-            && r->mapShards != 0) {
-        // Stale shard map: re-resolve from the service's authoritative
-        // count and retry once with the corrected stamp. If the key
-        // genuinely lives on another group (re-resolution does not
-        // change our route to THIS group), the retry is skipped and the
-        // rejection surfaces for the caller to re-route.
-        uint32_t stamp = shardOfKey(request.key, r->mapShards);
-        numShards_ = r->mapShards;
-        if (stamp != request.shard && stamp == r->mapShard) {
-            request.shard = stamp;
-            request.reqId = nextReqId_++;
-            reply = client_.call(request, timeout);
-            if (!reply || reply->type() != net::MsgType::ClientReply)
-                return nullptr;
+    std::shared_ptr<net::Message> reply;
+    for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+        size_t shards = numShards_ ? numShards_ : 1;
+        uint32_t shard = shardOfKey(request.key, shards);
+        request.shard = shard;
+        request.numShards = static_cast<uint32_t>(shards);
+        net::TcpClient *conn = connectionFor(shard);
+        if (!conn)
+            return nullptr; // no route anywhere (seed gone too)
+        bool via_seed = conn == seed_.get();
+        reply = callOn(*conn, request, timeout);
+        if (!reply) {
+            // Timeout or disconnect. Drop a per-shard connection so the
+            // next op re-dials (maybe a different replica); the seed is
+            // kept — it is the bootstrap of last resort.
+            if (!via_seed)
+                conns_.erase(shard);
+            return nullptr;
+        }
+        auto &r = static_cast<ClientReplyMsg &>(*reply);
+        bool learned = adoptMap(r, via_seed);
+        if (r.status != ClientReplyMsg::Status::WrongShard) {
+            lastStatus_ = r.status;
+            return reply;
+        }
+        // WrongShard: re-resolve under the freshly adopted map and only
+        // loop when that yields a usable route we have not just tried —
+        // the reroute targets the owning shard's actual address, it is
+        // not a blind same-socket retry.
+        size_t new_shards = numShards_ ? numShards_ : 1;
+        uint32_t new_shard = shardOfKey(request.key, new_shards);
+        bool reachable =
+            (seedShardKnown_ && new_shard == seedShard_)
+            || (new_shard < addrs_.size() && !addrs_[new_shard].empty());
+        if (!reachable) {
+            // Dead end by the service's own map: no address to go to.
+            lastStatus_ = ClientReplyMsg::Status::WrongShard;
+            return reply;
+        }
+        if (!learned && new_shard == shard) {
+            // Nothing new adopted and the same route re-resolved: the
+            // reachable owner keeps rejecting us (disagreeing services);
+            // retrying the identical request cannot converge.
+            lastStatus_ = ClientReplyMsg::Status::WrongShard;
+            return reply;
         }
     }
-    lastStatus_ = static_cast<ClientReplyMsg &>(*reply).status;
+    lastStatus_ = ClientReplyMsg::Status::RetriesExhausted;
     return reply;
 }
 
@@ -182,6 +404,17 @@ KvClient::write(Key key, Value value, DurationNs timeout)
 std::optional<bool>
 KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
 {
+    auto observed =
+        casObserve(key, std::move(expected), std::move(desired), timeout);
+    if (!observed)
+        return std::nullopt;
+    return observed->first;
+}
+
+std::optional<std::pair<bool, Value>>
+KvClient::casObserve(Key key, Value expected, Value desired,
+                     DurationNs timeout)
+{
     ClientRequestMsg request;
     request.op = ClientRequestMsg::Op::Cas;
     request.key = key;
@@ -190,7 +423,8 @@ KvClient::cas(Key key, Value expected, Value desired, DurationNs timeout)
     auto reply = callRerouting(request, timeout);
     if (!reply || lastStatus_ != ClientReplyMsg::Status::Ok)
         return std::nullopt;
-    return static_cast<ClientReplyMsg &>(*reply).ok;
+    auto &r = static_cast<ClientReplyMsg &>(*reply);
+    return std::make_pair(r.ok, r.value.str());
 }
 
 } // namespace hermes::app

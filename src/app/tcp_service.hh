@@ -5,12 +5,24 @@
  * with Wings-style batching, serving external clients on every replica's
  * port. This is the "HermesKV as a deployable system" face of the
  * library (the paper's §4 system, with TCP standing in for RDMA).
+ *
+ * ShardedTcpDeployment stacks S of these services — one per shard of the
+ * key space, each its own replica group on distinct ports, all in one
+ * process with one event-loop thread per replica — behind an explicit
+ * shard → address map. The map is exchanged with clients at HELLO and
+ * refreshed on every WrongShard rejection, which is what turns the
+ * redirect status from a dead end into a working re-route: the seqlock
+ * KVS and the per-shard groups share nothing, so aggregate throughput
+ * scales with cores.
  */
 
 #ifndef HERMES_APP_TCP_SERVICE_HH
 #define HERMES_APP_TCP_SERVICE_HH
 
+#include <map>
 #include <memory>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "app/replica_handle.hh"
@@ -19,6 +31,10 @@
 
 namespace hermes::app
 {
+
+/** Shard → replica-port map of a TCP deployment (net wire aliases). */
+using net::ShardAddressMap;
+using net::ShardPorts;
 
 /** A running replicated KV service on localhost TCP. */
 class TcpKvService
@@ -37,7 +53,9 @@ class TcpKvService
      * Requests whose shard stamp disagrees with (num_shards, shard_id) —
      * a client routing with a stale map — are rejected with an explicit
      * ClientReplyMsg::Status::WrongShard instead of silently served from
-     * the wrong group.
+     * the wrong group. The client's stamped shard *count* is checked
+     * against num_shards before anything hashes or indexes, so a garbage
+     * stamp can never address the map.
      */
     TcpKvService(Protocol protocol, size_t nodes, ReplicaOptions options,
                  net::TcpConfig config = {}, size_t num_shards = 1,
@@ -50,12 +68,22 @@ class TcpKvService
     /** Stop all node loops. */
     void stop();
 
+    /**
+     * Register the full deployment's shard → address map (call before
+     * start()). HELLO replies and WrongShard rejections then advertise
+     * every shard's replica ports, letting clients reconnect to the
+     * owning group. Without it the service advertises only its own
+     * entry — all a standalone group can know.
+     */
+    void setDeploymentMap(ShardAddressMap map);
+
     /** Port clients should dial for replica @p id. */
     uint16_t portOf(NodeId id) const { return cluster_.portOf(id); }
 
     net::TcpCluster &cluster() { return cluster_; }
     ReplicaHandle &replica(NodeId id) { return *replicas_.at(id); }
     size_t numNodes() const { return replicas_.size(); }
+    uint32_t shardId() const { return shardId_; }
 
     /** Kill one replica (closes its sockets, halts its loop). */
     void crash(NodeId id) { cluster_.crash(id); }
@@ -64,28 +92,94 @@ class TcpKvService
     void handleClientFrame(NodeId node, net::ClientConnId conn,
                            const std::shared_ptr<net::Message> &msg);
 
+    /** The map to advertise: the deployment's, or just our own entry. */
+    ShardAddressMap advertisedMap() const;
+
     net::TcpCluster cluster_;
     std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
     size_t numShards_;
     uint32_t shardId_;
+    ShardAddressMap deploymentMap_;
 };
 
 /**
- * Synchronous KV client for a TcpKvService replica: read/write/cas with
- * blocking calls, as an application would use the service.
+ * S per-shard replica groups served from one process: group s runs the
+ * keys with shardOfKey(key, S) == s on its own ports
+ * (basePort + s*replicas … ), with one event-loop thread per replica —
+ * thread-per-shard parallelism on a real network. Every group knows the
+ * whole deployment's address map and advertises it at HELLO and on
+ * WrongShard, so any replica of any shard can bootstrap or correct a
+ * client's routing.
+ */
+class ShardedTcpDeployment
+{
+  public:
+    ShardedTcpDeployment(Protocol protocol, size_t shards,
+                         size_t replicas_per_shard, ReplicaOptions options,
+                         net::TcpConfig config = {});
+
+    /** Start every shard group (all listeners bind before any start). */
+    void start();
+
+    /** Stop all groups (idempotent). */
+    void stop();
+
+    size_t numShards() const { return groups_.size(); }
+    size_t replicasPerShard() const { return replicasPerShard_; }
+
+    TcpKvService &shard(uint32_t s) { return *groups_.at(s); }
+
+    /** Port of @p shard 's @p replica -th node. */
+    uint16_t
+    portOf(uint32_t shard, NodeId replica = 0) const
+    {
+        return groups_.at(shard)->portOf(replica);
+    }
+
+    const ShardAddressMap &addressMap() const { return map_; }
+
+    /**
+     * Kill one whole shard group (every replica's loop). The other
+     * shards keep serving — the fault-isolation property the per-shard
+     * tests assert.
+     */
+    void crashShard(uint32_t s) { groups_.at(s)->stop(); }
+
+  private:
+    size_t replicasPerShard_;
+    std::vector<std::unique_ptr<TcpKvService>> groups_;
+    ShardAddressMap map_;
+};
+
+/**
+ * Synchronous multi-shard KV client for a TCP deployment: read/write/cas
+ * with blocking calls, as an application would use the service.
  *
- * A sharded deployment's client is constructed with the shard count; it
- * stamps every request with the key's shard id (the stable shardOfKey
- * hash) so the service can reject requests routed with a stale map.
+ * Routing: the client keeps one connection per shard and routes each op
+ * by the stable shardOfKey hash over its current shard map. The map is
+ * negotiated at HELLO (connect time) and *re-resolved from any WrongShard
+ * rejection*, whose reply carries the authoritative count and address
+ * map: the client adopts the map, reconnects to the shard that actually
+ * owns the key, and retries — a bounded loop, so a client constructed
+ * with an arbitrarily stale map converges onto the live deployment
+ * instead of dead-ending on one socket.
  */
 class KvClient
 {
   public:
-    explicit KvClient(uint16_t port, size_t num_shards = 1)
-        : client_(port), numShards_(num_shards)
-    {}
+    /** Reroute attempts per op before surfacing RetriesExhausted. */
+    static constexpr int kMaxRouteAttempts = 4;
 
-    bool connected() const { return client_.connected(); }
+    /**
+     * Connect to the deployment via the replica on @p seed_port.
+     *
+     * @param num_shards 0 (default) = negotiate the shard map at HELLO;
+     *        a positive count skips HELLO and trusts the caller's map —
+     *        deliberately stale clients in tests use this.
+     */
+    explicit KvClient(uint16_t seed_port, size_t num_shards = 0);
+
+    bool connected() const;
 
     /** @return the value, or nullopt on timeout/disconnect. */
     std::optional<Value> read(Key key, DurationNs timeout = 5_s);
@@ -98,25 +192,53 @@ class KvClient
                             DurationNs timeout = 5_s);
 
     /**
-     * Status of the last completed call: distinguishes a WrongShard
-     * rejection (stale client shard map; re-route after a map refresh)
-     * from a genuine timeout/failure. WrongShard replies carry the
-     * service's shard map; the client adopts the advertised shard count
-     * and retries once when the corrected stamp routes the key to the
-     * connected group, so a merely-stale map self-heals and only
-     * genuinely misrouted keys surface the error.
+     * CAS also returning the observed register value — what the lin-check
+     * harnesses record (a failed CAS's history entry must carry the value
+     * it observed).
+     */
+    std::optional<std::pair<bool, Value>>
+    casObserve(Key key, Value expected, Value desired,
+               DurationNs timeout = 5_s);
+
+    /**
+     * Status of the last completed call: Ok, WrongShard when no route to
+     * the key's owner is known (the advertised map has no address for
+     * it), or RetriesExhausted when kMaxRouteAttempts re-resolve-and-
+     * reroute rounds never converged.
      */
     net::ClientReplyMsg::Status lastStatus() const { return lastStatus_; }
 
     /** The client's current notion of the deployment's shard count. */
     size_t numShards() const { return numShards_; }
 
+    /** The client's current shard → address map (HELLO/WrongShard fed). */
+    const ShardAddressMap &addressMap() const { return addrs_; }
+
   private:
-    /** Stamp, send, and on WrongShard re-resolve the map + retry once. */
+    /** Stamp + send with bounded re-resolve-and-reroute on WrongShard. */
     std::shared_ptr<net::Message>
     callRerouting(net::ClientRequestMsg &request, DurationNs timeout);
 
-    net::TcpClient client_;
+    /** HELLO: ask the seed for the deployment map and adopt it. */
+    void resolveMapFromSeed();
+
+    /** Adopt count/addresses a reply advertises. @return anything new? */
+    bool adoptMap(const net::ClientReplyMsg &reply, bool via_seed);
+
+    /** Connection serving @p shard: cached, dialed, or seed fallback. */
+    net::TcpClient *connectionFor(uint32_t shard);
+
+    /** One request/reply on @p conn with reqId matching. */
+    std::shared_ptr<net::Message> callOn(net::TcpClient &conn,
+                                         net::ClientRequestMsg &request,
+                                         DurationNs timeout);
+
+    uint16_t seedPort_;
+    std::unique_ptr<net::TcpClient> seed_;
+    bool seedShardKnown_ = false;
+    uint32_t seedShard_ = 0;
+    std::map<uint32_t, std::unique_ptr<net::TcpClient>> conns_;
+    ShardAddressMap addrs_;
     size_t numShards_ = 1;
     uint64_t nextReqId_ = 1;
     net::ClientReplyMsg::Status lastStatus_ =

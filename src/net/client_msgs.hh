@@ -13,10 +13,38 @@
 namespace hermes::net
 {
 
+/**
+ * One shard's contact addresses: the TCP ports (localhost deployment) of
+ * the replica group serving that shard, dialing order = replica order.
+ * An empty list means "this service does not know that shard's address"
+ * (a standalone single-group service only knows itself).
+ */
+using ShardPorts = std::vector<uint16_t>;
+
+/**
+ * The deployment's shard → address map: entry s lists shard s's replica
+ * ports. Exchanged at client HELLO and refreshed on every WrongShard
+ * rejection, so a client can re-route to the shard that actually owns a
+ * key instead of retrying a dead-end connection.
+ */
+using ShardAddressMap = std::vector<ShardPorts>;
+
 /** One client operation. */
 struct ClientRequestMsg : Message
 {
-    enum class Op : uint8_t { Read = 0, Write = 1, Cas = 2 };
+    enum class Op : uint8_t
+    {
+        Read = 0,
+        Write = 1,
+        Cas = 2,
+        /**
+         * HELLO negotiation: no register op. The service answers Ok with
+         * its full shard map (count, own shard, addresses); a fresh
+         * client issues this on connect to resolve routing before the
+         * first real op, VAL-protocol style.
+         */
+        Hello = 3,
+    };
 
     ClientRequestMsg() : Message(MsgType::ClientRequest) {}
 
@@ -30,12 +58,20 @@ struct ClientRequestMsg : Message
      * the key from the wrong group, and is echoed in the reply.
      */
     uint32_t shard = 0;
+    /**
+     * The shard *count* of the map the client routed with. Checked by the
+     * service against its own count BEFORE any hashing or map indexing: a
+     * stale or garbage count (0, or a different deployment generation)
+     * is rejected up front with WrongShard + the authoritative map, so a
+     * bogus stamp can never index anything service-side.
+     */
+    uint32_t numShards = 1;
     ValueRef value;    ///< write value / CAS desired
     ValueRef expected; ///< CAS expected
 
     size_t payloadSize() const override
     {
-        return 1 + 8 + 8 + 4 + 4 + value.size() + 4 + expected.size();
+        return 1 + 8 + 8 + 4 + 4 + 4 + value.size() + 4 + expected.size();
     }
 
     size_t valueBytes() const override
@@ -50,6 +86,7 @@ struct ClientRequestMsg : Message
         writer.putU64(reqId);
         writer.putU64(key);
         writer.putU32(shard);
+        writer.putU32(numShards);
         writer.putValue(value);
         writer.putValue(expected);
     }
@@ -68,6 +105,15 @@ struct ClientReplyMsg : Message
          * executed; the client must refresh its map and re-route.
          */
         WrongShard = 1,
+        /**
+         * Client-side synthesis, never sent by a service: the bounded
+         * re-resolve-and-reroute loop kept landing on WrongShard after
+         * adopting every advertised map — the deployment's map is
+         * churning faster than the client can chase it (or two services
+         * disagree). Distinct from WrongShard so callers can tell "no
+         * route exists from here" from "routing never converged".
+         */
+        RetriesExhausted = 2,
     };
 
     ClientReplyMsg() : Message(MsgType::ClientReply) {}
@@ -85,11 +131,23 @@ struct ClientReplyMsg : Message
      */
     uint32_t mapShards = 0;
     uint32_t mapShard = 0;
+    /**
+     * Shard → replica-port address map. Populated on HELLO replies and
+     * WrongShard rejections (empty on the data path to keep replies
+     * lean): entry s lists shard s's replica ports, so a misrouted
+     * client can *reconnect to the owning shard's address* instead of
+     * uselessly retrying the same socket. A standalone single-group
+     * service fills only its own entry.
+     */
+    ShardAddressMap mapPorts;
     ValueRef value;  ///< read result / CAS observed value
 
     size_t payloadSize() const override
     {
-        return 8 + 1 + 1 + 4 + 4 + 4 + 4 + value.size();
+        size_t map_bytes = 2;
+        for (const ShardPorts &ports : mapPorts)
+            map_bytes += 2 + 2 * ports.size();
+        return 8 + 1 + 1 + 4 + 4 + 4 + map_bytes + 4 + value.size();
     }
 
     size_t valueBytes() const override { return value.size(); }
@@ -103,6 +161,12 @@ struct ClientReplyMsg : Message
         writer.putU32(shard);
         writer.putU32(mapShards);
         writer.putU32(mapShard);
+        writer.putU16(static_cast<uint16_t>(mapPorts.size()));
+        for (const ShardPorts &ports : mapPorts) {
+            writer.putU16(static_cast<uint16_t>(ports.size()));
+            for (uint16_t port : ports)
+                writer.putU16(port);
+        }
         writer.putValue(value);
     }
 };

@@ -17,6 +17,7 @@
 #include "common/logging.hh"
 #include "common/serialize.hh"
 #include "net/batcher.hh"
+#include "net/client_msgs.hh"
 
 namespace hermes::net
 {
@@ -34,6 +35,9 @@ constexpr uint8_t kFrameCredit = 1;
 /** One staged outbound message in scatter/gather form (shared: a
  *  broadcast stages the same frame toward every destination). */
 using FramePtr = std::shared_ptr<const WireFrame>;
+
+/** Short-writev tails re-staged (see TcpCluster::partialWriteTails). */
+std::atomic<uint64_t> g_partial_write_tails{0};
 
 /** A refcounted receive slab: decoded messages alias value bytes inside
  *  it and keep it alive past the transport's recycle (shared_ptr). */
@@ -68,6 +72,20 @@ setNoDelay(int fd)
 {
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+void
+setSndBuf(int fd, int bytes)
+{
+    if (bytes > 0)
+        setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof(bytes));
+}
+
+void
+setRcvBuf(int fd, int bytes)
+{
+    if (bytes > 0)
+        setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes));
 }
 
 /** Flatten staged frames into one batch frame (copy fallback path). */
@@ -179,6 +197,7 @@ class TcpCluster::NodeLoop
             fatal("socket() failed: %s", strerror(errno));
         int one = 1;
         setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+        setRcvBuf(listenFd_, config_.rcvbufBytes); // inherited on accept
         sockaddr_in addr{};
         addr.sin_family = AF_INET;
         addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
@@ -356,9 +375,11 @@ class TcpCluster::NodeLoop
             addr.sin_family = AF_INET;
             addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
             addr.sin_port = htons(config_.basePort + peer);
+            setRcvBuf(fd, config_.rcvbufBytes); // pre-connect: fixes window
             if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
                         sizeof(addr)) == 0) {
                 setNoDelay(fd);
+                setSndBuf(fd, config_.sndbufBytes);
                 // Blocking hello (explicit LE), then switch to
                 // non-blocking.
                 uint8_t hello[12];
@@ -416,6 +437,7 @@ class TcpCluster::NodeLoop
             if (fd < 0)
                 return;
             setNoDelay(fd);
+            setSndBuf(fd, config_.sndbufBytes);
             setNonBlocking(fd);
             Conn conn;
             conn.fd = fd;
@@ -535,6 +557,7 @@ class TcpCluster::NodeLoop
         if (static_cast<size_t>(n) == total)
             return;
         // Partial write: queue the unwritten tail for poll-driven retry.
+        g_partial_write_tails.fetch_add(1, std::memory_order_relaxed);
         auto skip = static_cast<size_t>(n);
         for (const iovec &v : iov) {
             if (skip >= v.iov_len) {
@@ -922,11 +945,17 @@ TcpCluster::portOf(NodeId id) const
     return loops_.at(id)->port();
 }
 
+uint64_t
+TcpCluster::partialWriteTails()
+{
+    return g_partial_write_tails.load(std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------
 // TcpClient
 // ---------------------------------------------------------------------
 
-TcpClient::TcpClient(uint16_t port) : fd_(-1)
+TcpClient::TcpClient(uint16_t port, int connect_attempts) : fd_(-1)
 {
     int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
@@ -935,7 +964,7 @@ TcpClient::TcpClient(uint16_t port) : fd_(-1)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    for (int attempt = 0; attempt < 100; ++attempt) {
+    for (int attempt = 0; attempt < connect_attempts; ++attempt) {
         if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
                     sizeof(addr)) == 0) {
             setNoDelay(fd);
@@ -962,7 +991,8 @@ TcpClient::~TcpClient()
 }
 
 std::shared_ptr<Message>
-TcpClient::call(const Message &request, DurationNs timeout)
+TcpClient::call(const Message &request, DurationNs timeout,
+                uint64_t expect_req_id)
 {
     if (fd_ < 0)
         return nullptr;
@@ -999,6 +1029,12 @@ TcpClient::call(const Message &request, DurationNs timeout)
                     // so decoded values are deep-copied out of it.
                     result = decodeMessage(reader.cursor(), msg_len);
                     reader.skip(msg_len);
+                    if (result && expect_req_id != 0
+                            && result->type() == MsgType::ClientReply
+                            && static_cast<const ClientReplyMsg &>(*result)
+                                       .reqId != expect_req_id) {
+                        result = nullptr; // stale reply: keep reading
+                    }
                 }
             }
             rxBuf_.erase(rxBuf_.begin(), rxBuf_.begin() + 4 + frame_len);

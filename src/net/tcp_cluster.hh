@@ -62,6 +62,22 @@ struct TcpConfig
     uint32_t creditsPerLink = 256;
     /** Return credits after this many messages received from a peer. */
     uint32_t creditReturnBatch = 64;
+    /**
+     * SO_SNDBUF for every mesh/client socket (0 = OS default). Tests
+     * shrink this to force partial writev()s and backpressure through
+     * the staged-frame tail queue — the re-staging path that must keep
+     * gather-mode frames byte-identical.
+     */
+    int sndbufBytes = 0;
+    /**
+     * SO_RCVBUF for every mesh/client socket (0 = OS default). Set on
+     * the listener before listen() so accepted sockets inherit it at
+     * SYN time. Shrinking both buffers bounds a link's total in-flight
+     * bytes, making short writev()s deterministic for frames larger
+     * than the pair — how the backpressure test guarantees it drives
+     * the partial-tail path rather than hoping for scheduler luck.
+     */
+    int rcvbufBytes = 0;
 };
 
 /**
@@ -110,6 +126,14 @@ class TcpCluster
 
     uint16_t portOf(NodeId id) const;
 
+    /**
+     * Process-wide count of gather-mode flushes that ended in a short
+     * writev() and re-staged their unwritten tail. The backpressure
+     * regression test asserts this moved — proof the small-SO_SNDBUF
+     * load actually drove the re-staging path it is checking.
+     */
+    static uint64_t partialWriteTails();
+
   private:
     class NodeLoop;
 
@@ -126,16 +150,32 @@ class TcpCluster
 class TcpClient
 {
   public:
-    /** Connect to the replica listening on @p port (localhost). */
-    explicit TcpClient(uint16_t port);
+    /**
+     * Connect to the replica listening on @p port (localhost).
+     *
+     * @param connect_attempts dial retries (20 ms apart) before giving
+     *        up. The default rides out a service that is still binding;
+     *        re-route dials against an address-map entry use a small
+     *        count so a crashed shard fails fast instead of stalling the
+     *        client for seconds.
+     */
+    explicit TcpClient(uint16_t port, int connect_attempts = 100);
     ~TcpClient();
 
     TcpClient(const TcpClient &) = delete;
     TcpClient &operator=(const TcpClient &) = delete;
 
-    /** Issue one request and block for the matching reply. */
+    /**
+     * Issue one request and block for the matching reply.
+     *
+     * @param expect_req_id when non-zero, ClientReply frames whose reqId
+     *        differs are discarded — late replies to an earlier call
+     *        that timed out on this socket cannot be mistaken for the
+     *        answer to this one.
+     */
     std::shared_ptr<Message> call(const Message &request,
-                                  DurationNs timeout = 5_s);
+                                  DurationNs timeout = 5_s,
+                                  uint64_t expect_req_id = 0);
 
     bool connected() const { return fd_ >= 0; }
 

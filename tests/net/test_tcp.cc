@@ -153,10 +153,11 @@ TEST(TcpCluster, ZabOverTcp)
 
 TEST(TcpCluster, WrongShardRequestsAreRejectedExplicitly)
 {
-    // A 4-shard deployment's group serving shard `s`: requests stamped
-    // for another shard — a client routing with a stale or different
-    // map — must come back as an explicit WrongShard status, not be
-    // silently served from the wrong group.
+    // A 4-shard deployment's group serving shard `s`, standing alone (no
+    // deployment map): requests for keys owned by other groups must come
+    // back as an explicit WrongShard status — the service advertises no
+    // address to re-route to, so the client surfaces the rejection
+    // instead of silently being served from the wrong group.
     net::TcpConfig config;
     config.basePort = freeBasePort(7);
     const size_t kShards = 4;
@@ -205,13 +206,14 @@ TEST(TcpCluster, WrongShardRequestsAreRejectedExplicitly)
     EXPECT_EQ(check.read(owned).value_or("?"), "still-right");
 }
 
-TEST(TcpCluster, StaleShardMapSelfHealsWithOneRetry)
+TEST(TcpCluster, StaleShardMapSelfHeals)
 {
     // A client whose shard *count* is stale but whose key really lives
     // on the connected group: the first request is rejected WrongShard,
     // the reply advertises the service's map (mapShards/mapShard), and
-    // the client re-resolves + retries once — the call succeeds and the
-    // caller never sees the stale-map hiccup.
+    // the client's re-resolve-and-reroute loop retries with the
+    // corrected stamp — the call succeeds and the caller never sees the
+    // stale-map hiccup.
     net::TcpConfig config;
     config.basePort = freeBasePort(8);
     const size_t kShards = 4;
@@ -247,6 +249,109 @@ TEST(TcpCluster, StaleShardMapSelfHealsWithOneRetry)
     }
     EXPECT_FALSE(stale.write(foreign, "lost"));
     EXPECT_EQ(stale.lastStatus(), net::ClientReplyMsg::Status::WrongShard);
+}
+
+TEST(TcpCluster, HelloNegotiatesMapAgainstStandaloneGroup)
+{
+    // A fresh client (no shard count given) negotiates the map at HELLO:
+    // against a standalone group of a 4-way deployment it adopts count 4
+    // and the group's own address entry before the first real op.
+    net::TcpConfig config;
+    config.basePort = freeBasePort(9);
+    const size_t kShards = 4;
+    TcpKvService service(Protocol::Hermes, 3, tcpOptions(), config,
+                         kShards, /*shard_id=*/0);
+    service.start();
+
+    KvClient client(service.portOf(0));
+    ASSERT_TRUE(client.connected());
+    EXPECT_EQ(client.numShards(), kShards);
+    ASSERT_EQ(client.addressMap().size(), kShards);
+    EXPECT_EQ(client.addressMap()[0],
+              (net::ShardPorts{service.portOf(0), service.portOf(1),
+                               service.portOf(2)}));
+    EXPECT_TRUE(client.addressMap()[1].empty())
+        << "a standalone group can only vouch for itself";
+
+    Key owned = 0;
+    for (Key k = 1; !owned; ++k)
+        if (app::shardOfKey(k, kShards) == 0)
+            owned = k;
+    ASSERT_TRUE(client.write(owned, "hello-routed"));
+    EXPECT_EQ(client.read(owned).value_or("?"), "hello-routed");
+}
+
+TEST(TcpCluster, PartialWriteBackpressureKeepsFramesByteIdentical)
+{
+    // Regression for the writeStaged partial-write tail queue: shrink
+    // SO_SNDBUF on every mesh socket so the gathered writev()s of
+    // KiB-sized INV values overrun the kernel buffer and re-stage their
+    // unwritten tails. Four concurrent writers keep the links
+    // backpressured; every value must come back byte-identical from
+    // replicas that only ever saw it through re-staged frames.
+    net::TcpConfig config;
+    config.basePort = freeBasePort(10);
+    // Shrink BOTH buffers (kernel clamps to its floors; still a few KB
+    // per side): a link can then hold well under ~12KB in flight, so
+    // every gathered INV below — 20KB+ of value — is guaranteed to come
+    // up short and exercise the tail re-staging. Asserted via the
+    // partial-tail counter, not hoped for.
+    config.sndbufBytes = 2048;
+    config.rcvbufBytes = 2048;
+    ReplicaOptions options = tcpOptions();
+    options.maxValueSize = 32768;
+    options.storeCapacity = 1 << 10;
+    TcpKvService service(Protocol::Hermes, 3, options, config);
+    service.start();
+
+    const uint64_t tails_before = net::TcpCluster::partialWriteTails();
+
+    auto patternValue = [](int writer, int i) {
+        std::string v(20000 + ((writer * 53 + i * 17) % 8000), '\0');
+        for (size_t b = 0; b < v.size(); ++b)
+            v[b] = static_cast<char>((writer * 131 + i * 31 + b) & 0xFF);
+        return v;
+    };
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> writers;
+    constexpr int kWriters = 4;
+    constexpr int kOpsPerWriter = 12;
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&service, &failures, &patternValue, w] {
+            KvClient client(service.portOf(w % 3));
+            for (int i = 0; i < kOpsPerWriter; ++i) {
+                Key key = 1000 + w * kOpsPerWriter + i;
+                if (!client.write(key, patternValue(w, i), 20_s))
+                    ++failures;
+            }
+        });
+    }
+    for (auto &t : writers)
+        t.join();
+    ASSERT_EQ(failures.load(), 0);
+
+    // The load must actually have driven the path under test: at least
+    // one gather-mode writev came up short and re-staged its tail.
+    EXPECT_GT(net::TcpCluster::partialWriteTails(), tails_before)
+        << "no partial writev occurred — the regression test is inert";
+
+    // Read every key back from every replica: local reads, so replica 1
+    // and 2 return exactly the bytes the re-staged INV frames carried.
+    for (NodeId n = 0; n < 3; ++n) {
+        KvClient reader(service.portOf(n));
+        for (int w = 0; w < kWriters; ++w) {
+            for (int i = 0; i < kOpsPerWriter; ++i) {
+                Key key = 1000 + w * kOpsPerWriter + i;
+                auto got = reader.read(key, 20_s);
+                ASSERT_TRUE(got.has_value())
+                    << "key " << key << " at replica " << n;
+                ASSERT_EQ(*got, patternValue(w, i))
+                    << "key " << key << " at replica " << n
+                    << ": re-staged frame bytes diverged";
+            }
+        }
+    }
 }
 
 TEST(TcpCluster, SurvivesFollowerKill)

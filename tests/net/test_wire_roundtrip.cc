@@ -271,6 +271,7 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     req.reqId = 42;
     req.key = 11;
     req.shard = 6;
+    req.numShards = 8;
     req.value = "desired";
     req.expected = "expected";
     auto outReq = roundTrip(stampEnvelope(req));
@@ -278,6 +279,7 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     EXPECT_EQ(outReq.reqId, 42u);
     EXPECT_EQ(outReq.key, 11u);
     EXPECT_EQ(outReq.shard, 6u);
+    EXPECT_EQ(outReq.numShards, 8u);
     EXPECT_EQ(outReq.value, "desired");
     EXPECT_EQ(outReq.expected, "expected");
 
@@ -285,12 +287,28 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     reply.reqId = 42;
     reply.ok = false;
     reply.shard = 6;
+    reply.status = net::ClientReplyMsg::Status::WrongShard;
+    reply.mapShards = 4;
+    reply.mapShard = 2;
+    reply.mapPorts = {{17000, 17001, 17002}, {}, {17006}, {17009}};
     reply.value = "observed";
     auto outReply = roundTrip(stampEnvelope(reply));
     EXPECT_EQ(outReply.reqId, 42u);
     EXPECT_FALSE(outReply.ok);
     EXPECT_EQ(outReply.shard, 6u);
+    EXPECT_EQ(outReply.status, net::ClientReplyMsg::Status::WrongShard);
+    EXPECT_EQ(outReply.mapShards, 4u);
+    EXPECT_EQ(outReply.mapShard, 2u);
+    EXPECT_EQ(outReply.mapPorts, reply.mapPorts)
+        << "the shard->address map must survive the wire: it is what a "
+           "misrouted client re-routes from";
     EXPECT_EQ(outReply.value, "observed");
+
+    // The lean data-path shape (no address map) round-trips too.
+    net::ClientReplyMsg lean;
+    lean.reqId = 7;
+    auto outLean = roundTrip(stampEnvelope(lean));
+    EXPECT_TRUE(outLean.mapPorts.empty());
 }
 
 TEST(WireRoundTrip, ClientShardIdExtremesSurvive)
@@ -428,12 +446,14 @@ TEST(WireTruncation, EveryPrefixOfEveryMessageIsRejected)
 
     net::ClientRequestMsg req;
     req.shard = 3;
+    req.numShards = 4;
     req.value = "v";
     req.expected = "e";
     expectAllPrefixesRejected(stampEnvelope(req));
 
     net::ClientReplyMsg reply;
     reply.shard = 3;
+    reply.mapPorts = {{17000, 17001}, {17003}};
     reply.value = "v";
     expectAllPrefixesRejected(stampEnvelope(reply));
 
