@@ -1,13 +1,41 @@
 #include "app/tcp_service.hh"
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
 #include "app/cluster.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hermes::app
 {
 
 using net::ClientReplyMsg;
 using net::ClientRequestMsg;
+
+namespace
+{
+
+TimeNs
+steadyNowNs()
+{
+    using namespace std::chrono;
+    return duration_cast<nanoseconds>(
+               steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
                            ReplicaOptions options, net::TcpConfig config,
@@ -87,13 +115,17 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         reply.mapShard = shardId_;
     };
 
-    // HELLO negotiation: no register op, just the deployment map.
+    // HELLO negotiation: no register op — the deployment map plus the
+    // session's granted credit window (the transport clamped whatever
+    // the client's hello requested; we are running on the serving
+    // node's loop thread, so reading the transport state is safe).
     if (request.op == ClientRequestMsg::Op::Hello) {
         ClientReplyMsg reply;
         reply.reqId = req_id;
         reply.shard = shard;
         stampMap(reply);
         reply.mapPorts = advertisedMap();
+        reply.credits = cluster_.sessionCreditsOf(node, conn);
         cluster_.replyToClient(node, conn, reply);
         return;
     }
@@ -252,8 +284,15 @@ KvClient::adoptMap(const ClientReplyMsg &reply, bool via_seed)
     if (reply.mapShards != numShards_) {
         numShards_ = reply.mapShards;
         // Cached per-shard connections were routed by the old map; a
-        // shard id means something different now.
+        // shard id means something different now. That includes the
+        // seed's remembered shard id: under the new count "shard
+        // seedShard_" names a different slice of the key space, so
+        // keeping it would route that slice to the seed no matter who
+        // owns it. Invalidate and re-learn (the via_seed branch below
+        // re-learns it immediately when the teaching reply came from
+        // the seed itself).
         conns_.clear();
+        seedShardKnown_ = false;
         learned = true;
     }
     if (via_seed && (!seedShardKnown_ || seedShard_ != reply.mapShard)) {
@@ -280,7 +319,7 @@ KvClient::adoptMap(const ClientReplyMsg &reply, bool via_seed)
 }
 
 net::TcpClient *
-KvClient::connectionFor(uint32_t shard)
+KvClient::connectionFor(uint32_t shard, TimeNs deadline)
 {
     if (seedShardKnown_ && shard == seedShard_ && connected())
         return seed_.get();
@@ -298,8 +337,17 @@ KvClient::connectionFor(uint32_t shard)
             }
             // Few dial attempts: the deployment is already up when a
             // map advertises it, so a refusing port means a dead
-            // replica — fail over to the next one fast.
-            auto conn = std::make_unique<net::TcpClient>(port, 3);
+            // replica — fail over to the next one fast. Each failed
+            // attempt sleeps 20 ms, so size the retry count to the
+            // op's remaining budget and stop dialing entirely once it
+            // is spent — the seed fallback below still answers (with
+            // WrongShard) within whatever time is left.
+            TimeNs remaining = deadline - steadyNowNs();
+            if (remaining <= 0)
+                break;
+            int attempts = static_cast<int>(
+                std::min<TimeNs>(3, remaining / 20_ms + 1));
+            auto conn = std::make_unique<net::TcpClient>(port, attempts);
             if (conn->connected()) {
                 net::TcpClient *raw = conn.get();
                 conns_[shard] = std::move(conn);
@@ -328,16 +376,27 @@ KvClient::callRerouting(ClientRequestMsg &request, DurationNs timeout)
 {
     lastStatus_ = ClientReplyMsg::Status::Ok;
     std::shared_ptr<net::Message> reply;
+    // ONE deadline for the whole op, not one per attempt: redials and
+    // reroute rounds all burn the same budget, so an op bounded at
+    // `timeout` cannot take kMaxRouteAttempts × timeout wall time when
+    // the deployment keeps redirecting it.
+    const TimeNs deadline = steadyNowNs() + timeout;
     for (int attempt = 0; attempt < kMaxRouteAttempts; ++attempt) {
+        TimeNs remaining = deadline - steadyNowNs();
+        if (remaining <= 0)
+            return nullptr; // op budget spent mid-reroute
         size_t shards = numShards_ ? numShards_ : 1;
         uint32_t shard = shardOfKey(request.key, shards);
         request.shard = shard;
         request.numShards = static_cast<uint32_t>(shards);
-        net::TcpClient *conn = connectionFor(shard);
+        net::TcpClient *conn = connectionFor(shard, deadline);
         if (!conn)
             return nullptr; // no route anywhere (seed gone too)
+        remaining = deadline - steadyNowNs();
+        if (remaining <= 0)
+            return nullptr; // dialing consumed the budget
         bool via_seed = conn == seed_.get();
-        reply = callOn(*conn, request, timeout);
+        reply = callOn(*conn, request, remaining);
         if (!reply) {
             // Timeout or disconnect. Drop a per-shard connection so the
             // next op re-dials (maybe a different replica); the seed is
@@ -425,6 +484,564 @@ KvClient::casObserve(Key key, Value expected, Value desired,
         return std::nullopt;
     auto &r = static_cast<ClientReplyMsg &>(*reply);
     return std::make_pair(r.ok, r.value.str());
+}
+
+// ---------------------------------------------------------------------
+// KvSessionClient
+// ---------------------------------------------------------------------
+
+KvSessionClient::KvSessionClient(uint16_t seed_port, uint32_t credits,
+                                 size_t num_shards)
+    : seedPort_(seed_port), requestedCredits_(credits)
+{
+    net::registerClientCodecs();
+    if (num_shards > 0)
+        numShards_ = num_shards;
+    // Generous dial budget: the seed is the bootstrap, a service still
+    // binding deserves the wait. dial() pipelines the session's HELLO,
+    // so the window grant and the shard map stream in with the first
+    // replies — nothing here blocks on them.
+    seed_ = dial(seed_port, 100);
+}
+
+KvSessionClient::~KvSessionClient()
+{
+    for (const ConnPtr &conn : conns_)
+        if (conn->fd >= 0)
+            close(conn->fd);
+}
+
+bool
+KvSessionClient::connected() const
+{
+    return seed_ && seed_->alive;
+}
+
+KvSessionClient::ConnPtr
+KvSessionClient::dial(uint16_t port, int connect_attempts)
+{
+    int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return nullptr;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    bool ok = false;
+    for (int attempt = 0; attempt < connect_attempts; ++attempt) {
+        if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                    sizeof(addr)) == 0) {
+            ok = true;
+            break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    if (ok) {
+        // The transport hello's third word is the requested credit
+        // window; the server clamps it and reports the grant in the
+        // HELLO reply we pipeline right below.
+        int one = 1;
+        setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        uint8_t hello[12];
+        leStore32(hello, net::kHelloMagic);
+        leStore32(hello + 4, net::kHelloClient);
+        leStore32(hello + 8, requestedCredits_);
+        ok = write(fd, hello, sizeof(hello))
+             == static_cast<ssize_t>(sizeof(hello));
+    }
+    if (!ok) {
+        close(fd);
+        return nullptr;
+    }
+    int flags = fcntl(fd, F_GETFL, 0);
+    fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+
+    auto conn = std::make_shared<SessionConn>();
+    conn->fd = fd;
+    conn->port = port;
+    conn->alive = true;
+    // Believed window until the HELLO grant answers: what we asked for,
+    // or optimistic when we asked for the default. Overshooting is safe
+    // by design — the server stops reading an over-limit session and
+    // the overflow waits in kernel buffers.
+    conn->window = windowOverridden_
+                       ? requestedCredits_
+                       : (requestedCredits_ ? requestedCredits_ : 256);
+    conns_.push_back(conn);
+    sendHello(conn);
+    return conn;
+}
+
+void
+KvSessionClient::sendHello(const ConnPtr &conn)
+{
+    PendingOp hello;
+    hello.op = ClientRequestMsg::Op::Hello;
+    hello.internal = true;
+    hello.deadline = steadyNowNs() + 5_s;
+    hello.conn = conn;
+    uint64_t token = nextReqId_++;
+    ops_.emplace(token, std::move(hello));
+    enqueue(token, conn);
+}
+
+KvSessionClient::ConnPtr
+KvSessionClient::connFor(uint32_t shard)
+{
+    auto it = route_.find(shard);
+    if (it != route_.end() && it->second->alive)
+        return it->second;
+    route_.erase(shard);
+    if (shard < addrs_.size()) {
+        for (uint16_t port : addrs_[shard]) {
+            // A connection to that replica may already exist (shards
+            // sharing a socket after a map change, or the seed itself):
+            // sessions multiplex, never dial a port twice.
+            for (const ConnPtr &conn : conns_) {
+                if (conn->alive && conn->port == port) {
+                    route_[shard] = conn;
+                    return conn;
+                }
+            }
+            // Few dial attempts: an advertised address that refuses is
+            // a dead replica — fail over to the next one fast.
+            if (ConnPtr conn = dial(port, 3)) {
+                route_[shard] = conn;
+                return conn;
+            }
+        }
+    }
+    // No (live) address: fall back to the seed — uncached, so the next
+    // op re-resolves — whose WrongShard reply teaches the route.
+    return connected() ? seed_ : nullptr;
+}
+
+uint64_t
+KvSessionClient::readAsync(Key key, DurationNs timeout)
+{
+    PendingOp op;
+    op.op = ClientRequestMsg::Op::Read;
+    op.key = key;
+    op.deadline = steadyNowNs() + timeout;
+    return issue(std::move(op));
+}
+
+uint64_t
+KvSessionClient::writeAsync(Key key, Value value, DurationNs timeout)
+{
+    PendingOp op;
+    op.op = ClientRequestMsg::Op::Write;
+    op.key = key;
+    op.value = std::move(value);
+    op.deadline = steadyNowNs() + timeout;
+    return issue(std::move(op));
+}
+
+uint64_t
+KvSessionClient::casAsync(Key key, Value expected, Value desired,
+                          DurationNs timeout)
+{
+    PendingOp op;
+    op.op = ClientRequestMsg::Op::Cas;
+    op.key = key;
+    op.expected = std::move(expected);
+    op.value = std::move(desired);
+    op.deadline = steadyNowNs() + timeout;
+    return issue(std::move(op));
+}
+
+uint64_t
+KvSessionClient::issue(PendingOp op)
+{
+    uint64_t token = nextReqId_++;
+    uint32_t shard =
+        shardOfKey(op.key, numShards_ ? numShards_ : 1);
+    ConnPtr conn = connFor(shard);
+    op.conn = conn;
+    ops_.emplace(token, std::move(op));
+    if (!conn) {
+        // No route anywhere (seed gone too): fail it immediately, the
+        // token still redeems a (failed) result.
+        complete(token, OpResult{ClientReplyMsg::Status::WrongShard,
+                                 false, false, {}});
+        return token;
+    }
+    enqueue(token, conn);
+    return token;
+}
+
+void
+KvSessionClient::enqueue(uint64_t token, const ConnPtr &conn)
+{
+    conn->sendq.push_back(token);
+    pumpSendq(conn);
+    flushTx(conn);
+}
+
+void
+KvSessionClient::pumpSendq(const ConnPtr &conn)
+{
+    while (!conn->sendq.empty()
+           && (conn->window == 0 || conn->inflight < conn->window)) {
+        uint64_t token = conn->sendq.front();
+        conn->sendq.pop_front();
+        auto it = ops_.find(token);
+        if (it == ops_.end())
+            continue; // expired or rerouted while queued
+        encodeRequest(token, it->second, *conn);
+        ++conn->inflight;
+    }
+}
+
+void
+KvSessionClient::encodeRequest(uint64_t token, const PendingOp &op,
+                               SessionConn &conn)
+{
+    // Stamp the routing at SEND time, under the map the client believes
+    // right now — a reply that proves the stamp stale comes back as
+    // WrongShard and reroutes this op individually.
+    size_t shards = numShards_ ? numShards_ : 1;
+    ClientRequestMsg msg;
+    msg.op = op.op;
+    msg.reqId = token;
+    msg.key = op.key;
+    msg.shard = shardOfKey(op.key, shards);
+    msg.numShards = static_cast<uint32_t>(shards);
+    msg.value = op.value;
+    msg.expected = op.expected;
+
+    // One message per frame: u32 frame length, then a batch of count 1
+    // (kind u8, count u16, u32 message length, message bytes) — the
+    // exact client framing TcpClient speaks.
+    std::vector<uint8_t> body;
+    net::encodeMessage(msg, body);
+    size_t frame_len = 1 + 2 + 4 + body.size();
+    size_t base = conn.tx.size();
+    conn.tx.resize(base + 4 + 7);
+    leStore32(conn.tx.data() + base, static_cast<uint32_t>(frame_len));
+    conn.tx[base + 4] = net::kFrameBatch;
+    leStore16(conn.tx.data() + base + 5, 1);
+    leStore32(conn.tx.data() + base + 7,
+              static_cast<uint32_t>(body.size()));
+    conn.tx.insert(conn.tx.end(), body.begin(), body.end());
+}
+
+void
+KvSessionClient::flushTx(const ConnPtr &conn)
+{
+    if (!conn->alive)
+        return;
+    size_t written = 0;
+    while (written < conn->tx.size()) {
+        // MSG_NOSIGNAL: a crashed shard's socket must surface EPIPE to
+        // markDead(), not kill the process with SIGPIPE.
+        ssize_t n = send(conn->fd, conn->tx.data() + written,
+                         conn->tx.size() - written, MSG_NOSIGNAL);
+        if (n > 0) {
+            written += static_cast<size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break; // kernel buffer full: keep the tail for later
+        markDead(conn);
+        return;
+    }
+    conn->tx.erase(conn->tx.begin(),
+                   conn->tx.begin() + static_cast<long>(written));
+}
+
+void
+KvSessionClient::readAndParse(const ConnPtr &conn)
+{
+    if (!conn->alive)
+        return;
+    uint8_t buf[65536];
+    for (;;) {
+        ssize_t n = read(conn->fd, buf, sizeof(buf));
+        if (n > 0) {
+            conn->rx.insert(conn->rx.end(), buf, buf + n);
+            if (static_cast<size_t>(n) == sizeof(buf))
+                continue;
+            break;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+            break;
+        markDead(conn);
+        return;
+    }
+
+    size_t off = 0;
+    while (conn->rx.size() - off >= 4) {
+        uint32_t frame_len = leLoad32(conn->rx.data() + off);
+        if (conn->rx.size() - off - 4 < frame_len)
+            break;
+        BufReader reader(conn->rx.data() + off + 4, frame_len);
+        off += 4 + frame_len;
+        if (reader.getU8() != net::kFrameBatch)
+            continue; // client links carry no credit frames
+        uint16_t count = reader.getU16();
+        for (uint16_t i = 0; i < count && reader.ok(); ++i) {
+            uint32_t msg_len = reader.getU32();
+            if (!reader.ok() || reader.remaining() < msg_len)
+                break;
+            // No pin: rx is compacted below, values deep-copy out.
+            auto msg = net::decodeMessage(reader.cursor(), msg_len);
+            reader.skip(msg_len);
+            if (msg && msg->type() == net::MsgType::ClientReply)
+                handleReply(conn,
+                            static_cast<const ClientReplyMsg &>(*msg));
+            if (!conn->alive)
+                return; // handleReply noticed a dead conn underneath
+        }
+    }
+    conn->rx.erase(conn->rx.begin(),
+                   conn->rx.begin() + static_cast<long>(off));
+}
+
+void
+KvSessionClient::adoptMap(const ClientReplyMsg &reply)
+{
+    if (reply.mapShards == 0)
+        return;
+    if (reply.mapShards != numShards_) {
+        numShards_ = reply.mapShards;
+        // Shard ids mean something different under the new count; the
+        // sockets stay up (they multiplex), only the routes re-resolve.
+        route_.clear();
+    }
+    if (!reply.mapPorts.empty()) {
+        if (addrs_.size() != reply.mapPorts.size())
+            addrs_.resize(reply.mapPorts.size());
+        for (size_t s = 0; s < reply.mapPorts.size(); ++s)
+            if (!reply.mapPorts[s].empty())
+                addrs_[s] = reply.mapPorts[s];
+    }
+}
+
+void
+KvSessionClient::handleReply(const ConnPtr &conn,
+                             const ClientReplyMsg &reply)
+{
+    // Every request sent on this conn gets exactly one reply — the
+    // credit accounting holds even for replies whose op has already
+    // expired client-side.
+    if (conn->inflight > 0)
+        --conn->inflight;
+    adoptMap(reply);
+    if (reply.credits > 0 && !windowOverridden_)
+        conn->window = reply.credits; // the HELLO grant
+    pumpSendq(conn);
+
+    auto it = ops_.find(reply.reqId);
+    if (it == ops_.end())
+        return; // expired or a conn-death completion raced the reply
+    PendingOp &op = it->second;
+    if (op.internal) {
+        ops_.erase(it); // HELLO bookkeeping: no user-visible result
+        return;
+    }
+    if (reply.status == ClientReplyMsg::Status::WrongShard) {
+        // The synchronous client's reroute loop, unrolled per op: adopt
+        // (done above), re-resolve, re-issue the SAME token toward the
+        // owning shard — bounded by the op's attempt budget and, via
+        // expireOps, its deadline.
+        if (++op.attempts >= kMaxRouteAttempts) {
+            complete(reply.reqId,
+                     OpResult{ClientReplyMsg::Status::RetriesExhausted,
+                              true, false, {}});
+            return;
+        }
+        uint32_t shard =
+            shardOfKey(op.key, numShards_ ? numShards_ : 1);
+        ConnPtr next = connFor(shard);
+        if (!next) {
+            complete(reply.reqId,
+                     OpResult{ClientReplyMsg::Status::WrongShard, true,
+                              false, {}});
+            return;
+        }
+        op.conn = next;
+        enqueue(reply.reqId, next);
+        return;
+    }
+    complete(reply.reqId, OpResult{reply.status, true, reply.ok,
+                                   reply.value.str()});
+}
+
+void
+KvSessionClient::markDead(const ConnPtr &conn)
+{
+    if (!conn->alive)
+        return;
+    conn->alive = false;
+    close(conn->fd);
+    conn->fd = -1;
+    for (auto it = route_.begin(); it != route_.end();) {
+        if (it->second == conn)
+            it = route_.erase(it);
+        else
+            ++it;
+    }
+    conns_.erase(std::remove(conns_.begin(), conns_.end(), conn),
+                 conns_.end());
+    // Fail everything queued or in flight on it; tokens still redeem.
+    std::vector<uint64_t> doomed;
+    for (const auto &kv : ops_)
+        if (kv.second.conn == conn)
+            doomed.push_back(kv.first);
+    for (uint64_t token : doomed) {
+        if (ops_.at(token).internal) {
+            ops_.erase(token);
+            continue;
+        }
+        complete(token, OpResult{ClientReplyMsg::Status::Ok, false,
+                                 false, {}});
+    }
+}
+
+void
+KvSessionClient::complete(uint64_t token, OpResult result)
+{
+    ops_.erase(token);
+    results_.emplace(token, std::move(result));
+}
+
+void
+KvSessionClient::expireOps(TimeNs now)
+{
+    std::vector<uint64_t> expired;
+    for (const auto &kv : ops_)
+        if (now >= kv.second.deadline)
+            expired.push_back(kv.first);
+    for (uint64_t token : expired) {
+        // If it was sent, its reply may still arrive — handleReply's
+        // unconditional credit decrement keeps the window honest; if it
+        // was only queued, pumpSendq skips tokens no longer in ops_.
+        if (ops_.at(token).internal)
+            ops_.erase(token);
+        else
+            complete(token, OpResult{ClientReplyMsg::Status::Ok, false,
+                                     false, {}});
+    }
+}
+
+void
+KvSessionClient::progress()
+{
+    // Snapshot: markDead() edits conns_ under our feet.
+    std::vector<ConnPtr> live = conns_;
+    for (const ConnPtr &conn : live) {
+        if (!conn->alive)
+            continue;
+        flushTx(conn);
+        readAndParse(conn);
+        if (conn->alive) {
+            pumpSendq(conn);
+            flushTx(conn);
+        }
+    }
+    expireOps(steadyNowNs());
+}
+
+bool
+KvSessionClient::done(uint64_t token)
+{
+    progress();
+    return ops_.find(token) == ops_.end();
+}
+
+std::optional<KvSessionClient::OpResult>
+KvSessionClient::wait(uint64_t token)
+{
+    while (!done(token))
+        block(1);
+    return take(token);
+}
+
+std::optional<KvSessionClient::OpResult>
+KvSessionClient::take(uint64_t token)
+{
+    auto it = results_.find(token);
+    if (it == results_.end())
+        return std::nullopt;
+    OpResult result = std::move(it->second);
+    results_.erase(it);
+    return result;
+}
+
+size_t
+KvSessionClient::waitAll()
+{
+    while (inflight() > 0) {
+        progress();
+        if (inflight() > 0)
+            block(1);
+    }
+    size_t ok = 0;
+    for (const auto &kv : results_)
+        if (kv.second.completed
+                && kv.second.status == ClientReplyMsg::Status::Ok)
+            ++ok;
+    results_.clear();
+    return ok;
+}
+
+size_t
+KvSessionClient::inflight() const
+{
+    size_t n = 0;
+    for (const auto &kv : ops_)
+        if (!kv.second.internal)
+            ++n;
+    return n;
+}
+
+uint32_t
+KvSessionClient::grantedCredits() const
+{
+    return seed_ ? seed_->window : requestedCredits_;
+}
+
+std::vector<int>
+KvSessionClient::fds() const
+{
+    std::vector<int> out;
+    for (const ConnPtr &conn : conns_)
+        if (conn->alive)
+            out.push_back(conn->fd);
+    return out;
+}
+
+void
+KvSessionClient::overrideWindow(uint32_t w)
+{
+    windowOverridden_ = true;
+    requestedCredits_ = w; // future dials believe it too
+    for (const ConnPtr &conn : conns_) {
+        conn->window = w;
+        pumpSendq(conn);
+        flushTx(conn);
+    }
+}
+
+void
+KvSessionClient::block(int timeout_ms)
+{
+    std::vector<pollfd> pfds;
+    for (const ConnPtr &conn : conns_) {
+        if (!conn->alive)
+            continue;
+        short events = POLLIN;
+        if (!conn->tx.empty())
+            events |= POLLOUT;
+        pfds.push_back(pollfd{conn->fd, events, 0});
+    }
+    if (pfds.empty()) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(timeout_ms));
+        return;
+    }
+    poll(pfds.data(), pfds.size(), timeout_ms);
 }
 
 } // namespace hermes::app

@@ -19,6 +19,7 @@
 #ifndef HERMES_APP_TCP_SERVICE_HH
 #define HERMES_APP_TCP_SERVICE_HH
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <optional>
@@ -225,8 +226,13 @@ class KvClient
     /** Adopt count/addresses a reply advertises. @return anything new? */
     bool adoptMap(const net::ClientReplyMsg &reply, bool via_seed);
 
-    /** Connection serving @p shard: cached, dialed, or seed fallback. */
-    net::TcpClient *connectionFor(uint32_t shard);
+    /**
+     * Connection serving @p shard: cached, dialed, or seed fallback.
+     * Dialing is bounded by @p deadline — each failed dial attempt costs
+     * real wall time (20 ms retry sleeps), so a nearly-expired op skips
+     * further replicas rather than blowing through its budget.
+     */
+    net::TcpClient *connectionFor(uint32_t shard, TimeNs deadline);
 
     /** One request/reply on @p conn with reqId matching. */
     std::shared_ptr<net::Message> callOn(net::TcpClient &conn,
@@ -243,6 +249,163 @@ class KvClient
     uint64_t nextReqId_ = 1;
     net::ClientReplyMsg::Status lastStatus_ =
         net::ClientReplyMsg::Status::Ok;
+};
+
+/**
+ * Pipelined multi-shard session client: the massive-client face of the
+ * deployment. Where KvClient blocks on one request at a time,
+ * KvSessionClient keeps many requests in flight per connection —
+ * requests carry per-session sequence numbers (reqIds), replies
+ * complete out of the reply stream by reqId, and the client caps its
+ * in-flight ops at the credit window the server granted at HELLO (the
+ * server enforces the cap by ceasing to read an over-limit session, so
+ * a cooperative client never hits raw TCP backpressure).
+ *
+ * Everything is single-threaded and non-blocking: progress() pumps all
+ * sockets without blocking, wait()/waitAll() poll until completion, and
+ * an external event loop (the 10-10k session bench) can multiplex
+ * thousands of these clients off fds(). The synchronous client's
+ * reroute-on-WrongShard logic is preserved *per in-flight op*: a
+ * rejected op adopts the advertised map and re-issues itself toward the
+ * owning shard — concurrently with every other op, within its own
+ * deadline and attempt budget.
+ */
+class KvSessionClient
+{
+  public:
+    /** Reroute attempts per op before surfacing RetriesExhausted. */
+    static constexpr int kMaxRouteAttempts = 4;
+
+    /** Completion of one async op. */
+    struct OpResult
+    {
+        /** Service-level status (Ok / WrongShard / RetriesExhausted). */
+        net::ClientReplyMsg::Status status =
+            net::ClientReplyMsg::Status::Ok;
+        /** False: timed out / disconnected / unroutable. */
+        bool completed = false;
+        bool casApplied = false; ///< CAS: whether it applied
+        Value value;             ///< read result / CAS observed value
+    };
+
+    /**
+     * Connect to the deployment via the replica on @p seed_port.
+     *
+     * @param credits    credit window to request at HELLO (0 = accept
+     *                   the server default). The grant comes back in
+     *                   the HELLO reply and caps this session's
+     *                   pipeline depth.
+     * @param num_shards 0 = negotiate the shard map at HELLO; positive
+     *                   = trust the caller's (possibly stale) count,
+     *                   as the deliberately-stale test clients do.
+     */
+    explicit KvSessionClient(uint16_t seed_port, uint32_t credits = 0,
+                             size_t num_shards = 0);
+    ~KvSessionClient();
+
+    KvSessionClient(const KvSessionClient &) = delete;
+    KvSessionClient &operator=(const KvSessionClient &) = delete;
+
+    bool connected() const;
+
+    /** Issue ops without blocking; the token redeems the result. */
+    uint64_t readAsync(Key key, DurationNs timeout = 5_s);
+    uint64_t writeAsync(Key key, Value value, DurationNs timeout = 5_s);
+    uint64_t casAsync(Key key, Value expected, Value desired,
+                      DurationNs timeout = 5_s);
+
+    /** Pump every socket once; never blocks. */
+    void progress();
+
+    /** progress() and report whether @p token has completed. */
+    bool done(uint64_t token);
+
+    /** Block (polling) until @p token completes, up to its deadline.
+     *  Consumes the result; unknown/already-taken tokens → nullopt. */
+    std::optional<OpResult> wait(uint64_t token);
+
+    /** Result of a completed op (consumed). nullopt: not done yet. */
+    std::optional<OpResult> take(uint64_t token);
+
+    /** Drain every in-flight op. @return ops that completed Ok. */
+    size_t waitAll();
+
+    /** Ops in flight or queued (internal hellos excluded). */
+    size_t inflight() const;
+
+    /** The window granted at HELLO (requested value until it answers). */
+    uint32_t grantedCredits() const;
+
+    size_t numShards() const { return numShards_; }
+    const ShardAddressMap &addressMap() const { return addrs_; }
+
+    /** Every live socket fd — for an external epoll/poll loop driving
+     *  many sessions (call progress() on readiness). */
+    std::vector<int> fds() const;
+
+    /**
+     * Test/bench hook: believe a window of @p w regardless of what the
+     * server granted — how the credit-exhaustion suites over-drive a
+     * session to prove the *server* enforces its limit.
+     */
+    void overrideWindow(uint32_t w);
+
+  private:
+    struct SessionConn
+    {
+        int fd = -1;
+        uint16_t port = 0;
+        bool alive = false;
+        std::vector<uint8_t> tx;
+        std::vector<uint8_t> rx;
+        uint32_t window = 0;   ///< believed credit window
+        uint32_t inflight = 0; ///< sent, not yet completed/expired
+        std::deque<uint64_t> sendq; ///< tokens awaiting window room
+    };
+    using ConnPtr = std::shared_ptr<SessionConn>;
+
+    struct PendingOp
+    {
+        net::ClientRequestMsg::Op op = net::ClientRequestMsg::Op::Read;
+        Key key = 0;
+        Value value;
+        Value expected;
+        int attempts = 0;
+        TimeNs deadline = 0;
+        bool internal = false; ///< bookkeeping op (HELLO), not user-visible
+        ConnPtr conn;          ///< where sent/queued (null = unroutable)
+    };
+
+    ConnPtr dial(uint16_t port, int connect_attempts);
+    ConnPtr connFor(uint32_t shard);
+    void sendHello(const ConnPtr &conn);
+    uint64_t issue(PendingOp op);
+    void enqueue(uint64_t token, const ConnPtr &conn);
+    void pumpSendq(const ConnPtr &conn);
+    void encodeRequest(uint64_t token, const PendingOp &op,
+                       SessionConn &conn);
+    void flushTx(const ConnPtr &conn);
+    void readAndParse(const ConnPtr &conn);
+    void handleReply(const ConnPtr &conn,
+                     const net::ClientReplyMsg &reply);
+    void adoptMap(const net::ClientReplyMsg &reply);
+    void markDead(const ConnPtr &conn);
+    void complete(uint64_t token, OpResult result);
+    void expireOps(TimeNs now);
+    /** poll() all live sockets for up to @p timeout_ms. */
+    void block(int timeout_ms);
+
+    uint16_t seedPort_;
+    uint32_t requestedCredits_;
+    bool windowOverridden_ = false;
+    ConnPtr seed_;
+    std::vector<ConnPtr> conns_;             ///< every live socket
+    std::map<uint32_t, ConnPtr> route_;      ///< shard -> connection
+    ShardAddressMap addrs_;
+    size_t numShards_ = 1;
+    uint64_t nextReqId_ = 1; ///< per-session sequence numbers
+    std::map<uint64_t, PendingOp> ops_;      ///< in flight or queued
+    std::map<uint64_t, OpResult> results_;   ///< completed, not taken
 };
 
 } // namespace hermes::app

@@ -25,6 +25,7 @@ registerClientCodecs()
         msg->shard = reader.getU32();
         msg->mapShards = reader.getU32();
         msg->mapShard = reader.getU32();
+        msg->credits = reader.getU32();
         uint16_t shards = reader.getU16();
         // Bound the map by the bytes actually present: a corrupt count
         // cannot balloon the allocation past the frame (2 bytes per port

@@ -132,6 +132,15 @@ struct ClientReplyMsg : Message
     uint32_t mapShards = 0;
     uint32_t mapShard = 0;
     /**
+     * Granted per-session credit window, populated on HELLO replies
+     * (0 elsewhere = "not negotiating here"): the most requests this
+     * session may pipeline before the server stops reading its socket.
+     * The client requested a window in its transport hello; this is the
+     * server's clamp of that request — the session must cap its
+     * in-flight ops at it or expect TCP backpressure.
+     */
+    uint32_t credits = 0;
+    /**
      * Shard → replica-port address map. Populated on HELLO replies and
      * WrongShard rejections (empty on the data path to keep replies
      * lean): entry s lists shard s's replica ports, so a misrouted
@@ -147,7 +156,7 @@ struct ClientReplyMsg : Message
         size_t map_bytes = 2;
         for (const ShardPorts &ports : mapPorts)
             map_bytes += 2 + 2 * ports.size();
-        return 8 + 1 + 1 + 4 + 4 + 4 + map_bytes + 4 + value.size();
+        return 8 + 1 + 1 + 4 + 4 + 4 + 4 + map_bytes + 4 + value.size();
     }
 
     size_t valueBytes() const override { return value.size(); }
@@ -161,6 +170,7 @@ struct ClientReplyMsg : Message
         writer.putU32(shard);
         writer.putU32(mapShards);
         writer.putU32(mapShard);
+        writer.putU32(credits);
         writer.putU16(static_cast<uint16_t>(mapPorts.size()));
         for (const ShardPorts &ports : mapPorts) {
             writer.putU16(static_cast<uint16_t>(ports.size()));

@@ -1,6 +1,6 @@
 #include "net/message.hh"
 
-#include <map>
+#include <atomic>
 
 #include "common/logging.hh"
 
@@ -45,26 +45,39 @@ msgTypeName(MsgType type)
 
 namespace
 {
-std::map<MsgType, MessageDecoder> &
-decoderRegistry()
+// A fixed table of atomic pointers, not a map: every service/client
+// constructor re-runs its family's registerCodecs() while other
+// threads' event loops may be decoding other families concurrently,
+// so registration must not restructure anything a reader traverses.
+// First registration wins (families always re-register identical
+// decoders), installed entries are immutable, and readers pair an
+// acquire load with the registering CAS's release.
+std::atomic<const MessageDecoder *> &
+decoderSlot(MsgType type)
 {
-    static std::map<MsgType, MessageDecoder> registry;
-    return registry;
+    static std::atomic<const MessageDecoder *> table[256] = {};
+    return table[static_cast<uint8_t>(type)];
 }
 } // namespace
 
 void
 registerDecoder(MsgType type, MessageDecoder decoder)
 {
-    decoderRegistry()[type] = std::move(decoder);
+    auto &slot = decoderSlot(type);
+    if (slot.load(std::memory_order_acquire) != nullptr)
+        return; // already registered (idempotent re-init)
+    const MessageDecoder *fresh = new MessageDecoder(std::move(decoder));
+    const MessageDecoder *expected = nullptr;
+    if (!slot.compare_exchange_strong(expected, fresh,
+                                      std::memory_order_release,
+                                      std::memory_order_acquire))
+        delete fresh; // lost the install race; the winner's is identical
 }
 
 const MessageDecoder *
 findDecoder(MsgType type)
 {
-    auto &registry = decoderRegistry();
-    auto it = registry.find(type);
-    return it == registry.end() ? nullptr : &it->second;
+    return decoderSlot(type).load(std::memory_order_acquire);
 }
 
 void

@@ -137,8 +137,9 @@ using MessageDecoder =
 
 /**
  * Register the payload decoder for a message type. Called from each
- * protocol module's registerCodecs(); duplicate registration with the same
- * type replaces the previous decoder (harmless, supports re-init in tests).
+ * protocol module's registerCodecs(); duplicate registration of a type
+ * is a no-op (first wins — families always re-register identical
+ * decoders). Thread-safe against concurrent registration and decoding.
  */
 void registerDecoder(MsgType type, MessageDecoder decoder);
 

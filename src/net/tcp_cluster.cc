@@ -9,6 +9,10 @@
 #include <sys/uio.h>
 #include <unistd.h>
 
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
 #include <algorithm>
 #include <chrono>
 #include <cstring>
@@ -25,11 +29,9 @@ namespace hermes::net
 namespace
 {
 
-constexpr uint32_t kHelloMagic = 0x57494E47; // "WING"
+// kHelloMagic / kHelloClient / kFrameBatch live in the header (shared
+// with out-of-file client implementations); these two are mesh-internal.
 constexpr uint32_t kHelloPeer = 0;
-constexpr uint32_t kHelloClient = 1;
-
-constexpr uint8_t kFrameBatch = 0;
 constexpr uint8_t kFrameCredit = 1;
 
 /** One staged outbound message in scatter/gather form (shared: a
@@ -38,6 +40,25 @@ using FramePtr = std::shared_ptr<const WireFrame>;
 
 /** Short-writev tails re-staged (see TcpCluster::partialWriteTails). */
 std::atomic<uint64_t> g_partial_write_tails{0};
+
+/** Poll-boundary peer-credit flushes (starvation-fix introspection). */
+std::atomic<uint64_t> g_credit_returns_flushed{0};
+
+/** Client sessions paused on credit exhaustion. */
+std::atomic<uint64_t> g_session_pauses{0};
+
+/** High-water mark of per-session in-flight requests. */
+std::atomic<uint64_t> g_max_session_inflight{0};
+
+void
+noteSessionInflight(uint32_t inflight)
+{
+    uint64_t seen = g_max_session_inflight.load(std::memory_order_relaxed);
+    while (inflight > seen
+           && !g_max_session_inflight.compare_exchange_weak(
+                  seen, inflight, std::memory_order_relaxed)) {
+    }
+}
 
 /** A refcounted receive slab: decoded messages alias value bytes inside
  *  it and keep it alive past the transport's recycle (shared_ptr). */
@@ -140,6 +161,8 @@ class TcpCluster::NodeLoop
         close(wakePipe_[1]);
         if (listenFd_ >= 0)
             close(listenFd_);
+        if (epollFd_ >= 0)
+            close(epollFd_);
         for (auto &kv : conns_)
             close(kv.second.fd);
     }
@@ -206,7 +229,10 @@ class TcpCluster::NodeLoop
                  sizeof(addr)) != 0) {
             fatal("bind(port %u) failed: %s", port(), strerror(errno));
         }
-        if (listen(listenFd_, 64) != 0)
+        // A massive-client deployment sees connect bursts of hundreds
+        // of sessions; a short backlog would drop SYNs and stall dials
+        // behind kernel retransmit timers.
+        if (listen(listenFd_, 1024) != 0)
             fatal("listen() failed: %s", strerror(errno));
         setNonBlocking(listenFd_);
     }
@@ -245,19 +271,28 @@ class TcpCluster::NodeLoop
             fn(); // already on the loop; run inline to avoid self-deadlock
             return;
         }
-        std::mutex m;
-        std::condition_variable cv;
-        bool done = false;
-        post([&] {
+        // The sync state is shared, not stack-local: a spuriously woken
+        // waiter can observe `done`, return, and unwind while the loop
+        // thread is still inside notify_one() — the closure's reference
+        // keeps the cv/mutex alive through that window.
+        struct SyncState
+        {
+            std::mutex m;
+            std::condition_variable cv;
+            bool done = false;
+        };
+        auto state = std::make_shared<SyncState>();
+        post([state, fn = std::move(fn)] {
             fn();
             {
-                std::lock_guard<std::mutex> guard(m);
-                done = true;
+                std::lock_guard<std::mutex> guard(state->m);
+                state->done = true;
             }
-            cv.notify_one();
+            state->cv.notify_one();
         });
-        std::unique_lock<std::mutex> lock(m);
-        cv.wait(lock, [&] { return done || stop_.load(); });
+        std::unique_lock<std::mutex> lock(state->m);
+        state->cv.wait(lock,
+                       [&] { return state->done || stop_.load(); });
     }
 
     Node *node = nullptr;
@@ -272,8 +307,40 @@ class TcpCluster::NodeLoop
             auto it = clientConns_.find(conn_id);
             if (it == clientConns_.end())
                 return;
-            staged_[it->second].push_back(std::move(frame));
+            int fd = it->second;
+            staged_[fd].push_back(std::move(frame));
+            Conn &conn = conns_[fd];
+            if (conn.inflight > 0)
+                --conn.inflight;
+            if (conn.paused && conn.inflight < conn.sessionCredits)
+                resumeSession(fd);
         });
+    }
+
+    /** Replies drained a paused session below its window: read again,
+     *  starting with whatever was left buffered at pause time. */
+    void
+    resumeSession(int fd)
+    {
+        auto it = conns_.find(fd);
+        if (it == conns_.end())
+            return;
+        it->second.paused = false;
+        syncInterest(it->second);
+        // Frames already buffered never generate another poll event
+        // (level-triggering watches the socket, not our slab): parse
+        // them now. This may legitimately re-pause the session.
+        parseRx(fd);
+    }
+
+    uint32_t
+    sessionCreditsOf(ClientConnId conn_id) const
+    {
+        auto it = clientConns_.find(conn_id);
+        if (it == clientConns_.end())
+            return 0;
+        auto conn = conns_.find(it->second);
+        return conn == conns_.end() ? 0 : conn->second.sessionCredits;
     }
 
   private:
@@ -295,7 +362,50 @@ class TcpCluster::NodeLoop
         uint32_t sendCredits = 0;           // credits we hold toward peer
         uint32_t recvSinceCredit = 0;       // messages since credit return
         std::deque<FramePtr> creditWait;    // blocked on credits
+        /**
+         * Client-session flow control: requests delivered to the
+         * service and not yet replied to. When it reaches the granted
+         * window the loop stops reading (and parsing) this session —
+         * bytes back up into the kernel socket buffers and the client
+         * blocks, instead of the server's queues ballooning.
+         */
+        uint32_t inflight = 0;
+        uint32_t sessionCredits = 0;        // granted window (0 = none)
+        bool paused = false;                // not reading: over window
+        uint32_t armedEvents = 0;           // epoll: currently-registered
     };
+
+    /** Events this connection should be watched for right now. */
+    uint32_t
+    wantedEvents(const Conn &conn) const
+    {
+        uint32_t events = conn.paused ? 0 : POLLIN;
+        if (!conn.tx.empty())
+            events |= POLLOUT;
+        return events;
+    }
+
+    /** Re-arm the epoll registration if interest changed (no-op on the
+     *  poll backend, which rebuilds its pollfd set every iteration). */
+    void
+    syncInterest(Conn &conn)
+    {
+#ifdef __linux__
+        if (epollFd_ < 0)
+            return;
+        uint32_t wanted = wantedEvents(conn);
+        if (wanted == conn.armedEvents)
+            return;
+        epoll_event ev{};
+        ev.events = (wanted & POLLIN ? EPOLLIN : 0u)
+                    | (wanted & POLLOUT ? EPOLLOUT : 0u);
+        ev.data.fd = conn.fd;
+        epoll_ctl(epollFd_, EPOLL_CTL_MOD, conn.fd, &ev);
+        conn.armedEvents = wanted;
+#else
+        (void)conn;
+#endif
+    }
 
     void
     wake()
@@ -406,7 +516,19 @@ class TcpCluster::NodeLoop
     registerConn(Conn conn)
     {
         int fd = conn.fd;
-        conns_[fd] = std::move(conn);
+        Conn &slot = conns_[fd] = std::move(conn);
+#ifdef __linux__
+        if (epollFd_ >= 0) {
+            slot.armedEvents = wantedEvents(slot);
+            epoll_event ev{};
+            ev.events = (slot.armedEvents & POLLIN ? EPOLLIN : 0u)
+                        | (slot.armedEvents & POLLOUT ? EPOLLOUT : 0u);
+            ev.data.fd = fd;
+            epoll_ctl(epollFd_, EPOLL_CTL_ADD, fd, &ev);
+        }
+#else
+        (void)slot;
+#endif
     }
 
     void
@@ -485,18 +607,47 @@ class TcpCluster::NodeLoop
         staged_[it->second].push_back(std::move(frame));
     }
 
-    /** Coalesce everything staged this iteration into batch frames. */
+    /** Coalesce everything staged this iteration into batch frames.
+     *  Entries are erased after flushing: with thousands of mostly-idle
+     *  client sessions, iterating only the conns that actually staged
+     *  something keeps the poll boundary O(active), not O(connections). */
     void
     flushStaged()
     {
-        for (auto &kv : staged_) {
-            if (kv.second.empty())
+        for (auto kv = staged_.begin(); kv != staged_.end();
+             kv = staged_.erase(kv)) {
+            if (kv->second.empty())
                 continue;
-            auto it = conns_.find(kv.first);
+            auto it = conns_.find(kv->first);
             if (it == conns_.end())
                 continue;
-            writeStaged(it->second, kv.second);
-            kv.second.clear();
+            writeStaged(it->second, kv->second);
+        }
+    }
+
+    /**
+     * Poll-boundary credit return: push out whatever recvSinceCredit
+     * accumulated below the creditReturnBatch threshold this iteration.
+     * Without this, a link receiving fewer than the batch and going
+     * quiescent would permanently run its partner on a shrunken window
+     * (the starvation bug) — batching still amortizes *within* an
+     * iteration, it just can no longer withhold across idle time.
+     */
+    void
+    returnPendingCredits()
+    {
+        for (auto &kv : peerFd_) {
+            auto it = conns_.find(kv.second);
+            if (it == conns_.end())
+                continue;
+            Conn &conn = it->second;
+            if (!conn.helloDone || conn.recvSinceCredit == 0)
+                continue;
+            encodeCreditFrame(conn.recvSinceCredit, conn.tx);
+            conn.recvSinceCredit = 0;
+            g_credit_returns_flushed.fetch_add(1,
+                                               std::memory_order_relaxed);
+            tryWrite(conn);
         }
     }
 
@@ -552,6 +703,7 @@ class TcpCluster::NodeLoop
             // connection discards tx when the read path closes it —
             // never silently drop messages between two live peers.
             encodeBatchFrame(messages, conn.tx);
+            syncInterest(conn);
             return;
         }
         if (static_cast<size_t>(n) == total)
@@ -568,6 +720,7 @@ class TcpCluster::NodeLoop
             conn.tx.insert(conn.tx.end(), base + skip, base + v.iov_len);
             skip = 0;
         }
+        syncInterest(conn);
     }
 
     void
@@ -578,11 +731,12 @@ class TcpCluster::NodeLoop
             if (n > 0) {
                 conn.tx.erase(conn.tx.begin(), conn.tx.begin() + n);
             } else if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-                return; // poll will tell us when writable
+                break; // poll/epoll will tell us when writable
             } else {
-                return; // error path: closed on next read
+                break; // error path: closed on next read
             }
         }
+        syncInterest(conn); // arm/disarm EPOLLOUT with the tx backlog
     }
 
     // ---- receive path ----
@@ -659,10 +813,32 @@ class TcpCluster::NodeLoop
                 conn.isPeer = false;
                 conn.clientId = nextClientId_++;
                 clientConns_[conn.clientId] = fd;
+                // HELLO credit negotiation (VAL-style limits-at-hello):
+                // the client's third hello word requests a window; the
+                // grant is clamped by our config (0 = take the default).
+                uint32_t requested = sender;
+                conn.sessionCredits =
+                    requested == 0 ? config_.clientSessionCredits
+                                   : std::min(requested,
+                                              config_.clientSessionCredits);
             }
         }
 
         while (slab->size() - off >= 4) {
+            if (!conn.isPeer && conn.sessionCredits > 0
+                    && conn.inflight >= conn.sessionCredits) {
+                // Session over its credit window: stop parsing here and
+                // stop watching the socket. The unparsed tail stays
+                // buffered; resumeSession() re-enters this loop once
+                // replies drain the window below its grant.
+                if (!conn.paused) {
+                    conn.paused = true;
+                    g_session_pauses.fetch_add(1,
+                                               std::memory_order_relaxed);
+                    syncInterest(conn);
+                }
+                break;
+            }
             uint32_t frame_len = leLoad32(slab->data() + off);
             if (slab->size() - off - 4 < frame_len)
                 break;
@@ -744,6 +920,14 @@ class TcpCluster::NodeLoop
                     node->onMessage(msg);
                 }
             } else if (clientHandler) {
+                // Session credit accounting: every delivered request
+                // costs one credit, returned when the service's reply
+                // is staged (replies ARE the credit return — the
+                // implicit-credit degenerate case, made explicit).
+                if (msg->type() == MsgType::ClientRequest) {
+                    ++conn.inflight;
+                    noteSessionInflight(conn.inflight);
+                }
                 clientHandler(conn.clientId, msg);
             }
         }
@@ -751,9 +935,95 @@ class TcpCluster::NodeLoop
 
     // ---- main loop ----
 
+    /**
+     * epoll backend: one O(ready) wait instead of rebuilding an O(n)
+     * pollfd array per iteration — the difference between serving tens
+     * and thousands of client sessions per replica. Interest is kept in
+     * sync incrementally (registerConn / syncInterest); a paused
+     * session simply has EPOLLIN disarmed.
+     */
+    bool
+    dispatchEpoll()
+    {
+#ifdef __linux__
+        epoll_event events[256];
+        int rc = epoll_wait(epollFd_, events, 256, pollTimeoutMs());
+        if (rc < 0)
+            return errno == EINTR;
+        for (int i = 0; i < rc; ++i) {
+            int fd = events[i].data.fd;
+            uint32_t ev = events[i].events;
+            if (fd == wakePipe_[0]) {
+                uint8_t drain[256];
+                while (read(wakePipe_[0], drain, sizeof(drain)) > 0) {}
+            } else if (fd == listenFd_) {
+                acceptNew();
+            } else {
+                if (ev & (EPOLLIN | EPOLLHUP | EPOLLERR))
+                    handleReadable(fd);
+                auto it = conns_.find(fd);
+                if (it != conns_.end() && (ev & EPOLLOUT))
+                    tryWrite(it->second);
+            }
+        }
+        return true;
+#else
+        return false;
+#endif
+    }
+
+    /** poll() backend: the portability fallback (TcpConfig::useEpoll =
+     *  false, and all non-Linux builds). O(connections) per iteration. */
+    bool
+    dispatchPoll()
+    {
+        std::vector<pollfd> pfds;
+        pfds.push_back({wakePipe_[0], POLLIN, 0});
+        pfds.push_back({listenFd_, POLLIN, 0});
+        std::vector<int> fdOf;
+        for (auto &kv : conns_) {
+            short events = kv.second.paused ? 0 : POLLIN;
+            if (!kv.second.tx.empty())
+                events |= POLLOUT;
+            pfds.push_back({kv.first, events, 0});
+            fdOf.push_back(kv.first);
+        }
+        int rc = poll(pfds.data(), pfds.size(), pollTimeoutMs());
+        if (rc < 0 && errno != EINTR)
+            return false;
+
+        if (pfds[0].revents & POLLIN) {
+            uint8_t drain[256];
+            while (read(wakePipe_[0], drain, sizeof(drain)) > 0) {}
+        }
+        if (pfds[1].revents & POLLIN)
+            acceptNew();
+        for (size_t i = 2; i < pfds.size(); ++i) {
+            int fd = fdOf[i - 2];
+            if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR))
+                handleReadable(fd);
+            if (conns_.count(fd) && (pfds[i].revents & POLLOUT))
+                tryWrite(conns_[fd]);
+        }
+        return true;
+    }
+
     void
     run()
     {
+#ifdef __linux__
+        if (config_.useEpoll) {
+            epollFd_ = epoll_create1(0);
+            if (epollFd_ >= 0) {
+                epoll_event ev{};
+                ev.events = EPOLLIN;
+                ev.data.fd = wakePipe_[0];
+                epoll_ctl(epollFd_, EPOLL_CTL_ADD, wakePipe_[0], &ev);
+                ev.data.fd = listenFd_;
+                epoll_ctl(epollFd_, EPOLL_CTL_ADD, listenFd_, &ev);
+            }
+        }
+#endif
         establishMesh();
         if (stop_.load())
             return;
@@ -763,34 +1033,9 @@ class TcpCluster::NodeLoop
         flushStaged();
 
         while (!stop_.load()) {
-            std::vector<pollfd> pfds;
-            pfds.push_back({wakePipe_[0], POLLIN, 0});
-            pfds.push_back({listenFd_, POLLIN, 0});
-            std::vector<int> fdOf;
-            for (auto &kv : conns_) {
-                short events = POLLIN;
-                if (!kv.second.tx.empty())
-                    events |= POLLOUT;
-                pfds.push_back({kv.first, events, 0});
-                fdOf.push_back(kv.first);
-            }
-            int rc = poll(pfds.data(), pfds.size(), pollTimeoutMs());
-            if (rc < 0 && errno != EINTR)
+            bool ok = epollFd_ >= 0 ? dispatchEpoll() : dispatchPoll();
+            if (!ok)
                 break;
-
-            if (pfds[0].revents & POLLIN) {
-                uint8_t drain[256];
-                while (read(wakePipe_[0], drain, sizeof(drain)) > 0) {}
-            }
-            if (pfds[1].revents & POLLIN)
-                acceptNew();
-            for (size_t i = 2; i < pfds.size(); ++i) {
-                int fd = fdOf[i - 2];
-                if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR))
-                    handleReadable(fd);
-                if (conns_.count(fd) && (pfds[i].revents & POLLOUT))
-                    tryWrite(conns_[fd]);
-            }
 
             // Injected cross-thread calls.
             std::deque<std::function<void()>> injected;
@@ -807,9 +1052,12 @@ class TcpCluster::NodeLoop
             // produced goes out coalesced, once per loop iteration. The
             // Env flush first closes any protocol-level coalescing window
             // (net::Batcher) so its envelopes join this iteration's
-            // staged frames.
+            // staged frames. Credit returns that accumulated below the
+            // batch threshold flush here too — a quiescent link must not
+            // withhold its partner's window (the starvation fix).
             env_.flush();
             flushStaged();
+            returnPendingCredits();
         }
 
         for (auto &kv : conns_)
@@ -826,6 +1074,7 @@ class TcpCluster::NodeLoop
     LoopEnv env_;
 
     int listenFd_ = -1;
+    int epollFd_ = -1; // -1: poll() backend
     int wakePipe_[2] = {-1, -1};
     std::thread thread_;
     std::atomic<bool> stop_{false};
@@ -951,11 +1200,45 @@ TcpCluster::partialWriteTails()
     return g_partial_write_tails.load(std::memory_order_relaxed);
 }
 
+uint32_t
+TcpCluster::sessionCreditsOf(NodeId id, ClientConnId conn) const
+{
+    return loops_.at(id)->sessionCreditsOf(conn);
+}
+
+uint64_t
+TcpCluster::creditReturnsFlushed()
+{
+    return g_credit_returns_flushed.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TcpCluster::sessionPauses()
+{
+    return g_session_pauses.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TcpCluster::maxSessionInflight()
+{
+    return g_max_session_inflight.load(std::memory_order_relaxed);
+}
+
+void
+TcpCluster::resetSessionStats()
+{
+    g_session_pauses.store(0, std::memory_order_relaxed);
+    g_max_session_inflight.store(0, std::memory_order_relaxed);
+    g_credit_returns_flushed.store(0, std::memory_order_relaxed);
+}
+
 // ---------------------------------------------------------------------
 // TcpClient
 // ---------------------------------------------------------------------
 
-TcpClient::TcpClient(uint16_t port, int connect_attempts) : fd_(-1)
+TcpClient::TcpClient(uint16_t port, int connect_attempts,
+                     uint32_t session_credits)
+    : fd_(-1)
 {
     int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0)
@@ -971,7 +1254,7 @@ TcpClient::TcpClient(uint16_t port, int connect_attempts) : fd_(-1)
             uint8_t hello[12];
             leStore32(hello, kHelloMagic);
             leStore32(hello + 4, kHelloClient);
-            leStore32(hello + 8, 0);
+            leStore32(hello + 8, session_credits);
             if (write(fd, hello, sizeof(hello)) ==
                     static_cast<ssize_t>(sizeof(hello))) {
                 fd_ = fd;

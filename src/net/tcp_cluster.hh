@@ -53,6 +53,17 @@ using ClientConnId = uint64_t;
 using ClientFrameHandler =
     std::function<void(ClientConnId conn, std::shared_ptr<Message> msg)>;
 
+/**
+ * Wire constants of the framing, exported so client implementations
+ * outside this translation unit (the pipelined session client) speak
+ * the exact bytes the node loops expect instead of duplicating magic
+ * numbers: the 12-byte hello is (magic, kind, credits-requested), and
+ * every subsequent frame is a u32 length prefix + a kind byte.
+ */
+constexpr uint32_t kHelloMagic = 0x57494E47; // "WING"
+constexpr uint32_t kHelloClient = 1;         // hello kind: client session
+constexpr uint8_t kFrameBatch = 0;           // frame kind: message batch
+
 /** Tuning knobs for the Wings-over-TCP layer. */
 struct TcpConfig
 {
@@ -60,8 +71,32 @@ struct TcpConfig
     uint16_t basePort = 17000;
     /** Credit window per directed peer link (messages in flight). */
     uint32_t creditsPerLink = 256;
-    /** Return credits after this many messages received from a peer. */
+    /**
+     * Return credits after this many messages received from a peer
+     * *within one poll iteration* (a burst-amortization cap). Whatever
+     * is still outstanding gets flushed at the poll boundary, so a
+     * low-rate link that goes quiescent can never permanently shrink
+     * its partner's window.
+     */
     uint32_t creditReturnBatch = 64;
+    /**
+     * Event-loop backend: epoll (Linux) when true, O(n) poll() when
+     * false. poll() is the portability fallback and is what non-Linux
+     * builds always use; epoll is what lets one replica loop multiplex
+     * thousands of client sessions without rebuilding a pollfd array
+     * per iteration.
+     */
+    bool useEpoll = true;
+    /**
+     * Per-client-session credit window: the most requests a session may
+     * have in flight (received and not yet replied to) before the
+     * server stops reading its socket. 0 disables session flow control.
+     * A session's HELLO may request a smaller window; the grant is
+     * min(requested, this). Backpressure is by-design TCP: a paused
+     * session's bytes stay in the kernel buffers until replies drain,
+     * so overload never balloons server-side queues.
+     */
+    uint32_t clientSessionCredits = 256;
     /**
      * SO_SNDBUF for every mesh/client socket (0 = OS default). Tests
      * shrink this to force partial writev()s and backpressure through
@@ -134,6 +169,34 @@ class TcpCluster
      */
     static uint64_t partialWriteTails();
 
+    /**
+     * Granted credit window of an external-client session. Loop-thread
+     * only: call from inside the ClientFrameHandler (which runs on the
+     * serving node's loop) — it is how the service tells a session its
+     * grant in the HELLO reply.
+     */
+    uint32_t sessionCreditsOf(NodeId id, ClientConnId conn) const;
+
+    /**
+     * Process-wide count of poll-boundary peer-credit flushes: credit
+     * returns that would have sat below creditReturnBatch on a
+     * quiescent link and were pushed out at end of iteration instead.
+     * The starvation regression test asserts this moved.
+     */
+    static uint64_t creditReturnsFlushed();
+
+    /** Process-wide count of client sessions paused for exceeding their
+     *  credit window (reading stopped until replies drained). */
+    static uint64_t sessionPauses();
+
+    /** High-water mark of any client session's in-flight request count —
+     *  the credit-exhaustion test's proof the window actually bounds
+     *  server-side state. */
+    static uint64_t maxSessionInflight();
+
+    /** Zero the session/credit introspection counters (test hook). */
+    static void resetSessionStats();
+
   private:
     class NodeLoop;
 
@@ -158,8 +221,13 @@ class TcpClient
      *        re-route dials against an address-map entry use a small
      *        count so a crashed shard fails fast instead of stalling the
      *        client for seconds.
+     * @param session_credits credit window requested in the hello
+     *        (0 = accept the server's default). A synchronous client
+     *        has at most one request in flight, so the default is
+     *        always enough; pipelined sessions negotiate for real.
      */
-    explicit TcpClient(uint16_t port, int connect_attempts = 100);
+    explicit TcpClient(uint16_t port, int connect_attempts = 100,
+                       uint32_t session_credits = 0);
     ~TcpClient();
 
     TcpClient(const TcpClient &) = delete;

@@ -273,6 +273,125 @@ TEST(ShardedTcp, EndToEndLinCheckedUnderConcurrentLoad)
         << ": " << report.detail;
 }
 
+TEST(ShardedTcp, SeedShardForgottenWhenNonSeedReplyChangesMap)
+{
+    // Regression: the client remembers which shard its seed serves
+    // (seedShard_) so seed-owned keys skip a dial. That memory is bound
+    // to the shard COUNT it was learned under. When a reply from a
+    // NON-seed connection teaches a new count, the old code kept the
+    // stale seedShard_ — and then routed every key hashing to that id
+    // under the NEW map back to the seed. Against a seed from an older
+    // deployment generation the op ping-pongs maps until the stamps
+    // agree with the stale service, which then silently serves a key
+    // the real deployment owns: a write that "succeeds" but is lost.
+    net::TcpConfig real_config;
+    real_config.basePort = kBasePort + 128;
+    const size_t kShards = 4;
+    ShardedTcpDeployment real(Protocol::Hermes, kShards, 3, tcpOptions(),
+                              real_config);
+    real.start();
+
+    // The previous generation: a standalone S=2 group serving shard 1,
+    // whose deployment map points shard 0 at the NEW deployment — the
+    // bridge that lets a client of the old seed reach (and be taught
+    // by) the new generation through a non-seed connection.
+    net::TcpConfig old_config;
+    old_config.basePort = kBasePort + 160;
+    TcpKvService old_gen(Protocol::Hermes, 3, tcpOptions(), old_config,
+                         /*num_shards=*/2, /*shard_id=*/1);
+    app::ShardAddressMap bridge(2);
+    bridge[0] = real.addressMap()[0];
+    for (size_t r = 0; r < 3; ++r)
+        bridge[1].push_back(old_gen.portOf(static_cast<NodeId>(r)));
+    old_gen.setDeploymentMap(bridge);
+    old_gen.start();
+
+    // HELLO on the OLD seed: the client believes S=2 and remembers the
+    // seed serves (old) shard 1.
+    KvClient client(old_gen.portOf(0));
+    ASSERT_TRUE(client.connected());
+    ASSERT_EQ(client.numShards(), 2u);
+
+    // An op on an old-shard-0 key dials the bridge, lands on the new
+    // deployment, and adopts the S=4 map from its WrongShard reply —
+    // a NON-seed teaching. The op completes on the new deployment.
+    Key k_teach = keyOwnedBy(0, 2);
+    ASSERT_TRUE(client.write(k_teach, "taught"));
+    ASSERT_EQ(client.numShards(), kShards);
+
+    // Now the poisoned route: a key owned by NEW shard 1 (which, under
+    // splitmix64 % S, always hashed to OLD shard 1 too — exactly the
+    // collision that made the stale seedShard_ look right). The write
+    // must land on the real deployment, not on the old-generation seed.
+    Key k_bug = keyOwnedBy(1, kShards);
+    ASSERT_EQ(app::shardOfKey(k_bug, 2), 1u);
+    ASSERT_TRUE(client.write(k_bug, "must-reach-real-deployment"));
+    EXPECT_EQ(client.lastStatus(), net::ClientReplyMsg::Status::Ok);
+
+    KvClient fresh(real.portOf(0, 0));
+    EXPECT_EQ(fresh.read(k_bug).value_or("?"),
+              "must-reach-real-deployment")
+        << "the write was served by the old-generation seed and lost";
+}
+
+TEST(ShardedTcp, RerouteLoopHonorsPerOpDeadline)
+{
+    // Regression: callRerouting used to hand the FULL timeout to every
+    // attempt, so an op bouncing between disagreeing services (each
+    // WrongShard teaching a map the other rejects, with dead addresses
+    // burning 20 ms dial-retry sleeps in between) took many times its
+    // timeout in wall clock. The fix threads one deadline through every
+    // attempt and every dial: a 50 ms op must fail within ~a dial
+    // round, never 4 x (timeout + dials).
+    const uint16_t dead_a = kBasePort + 250;
+    const uint16_t dead_b = kBasePort + 251;
+
+    // Service A: S=2 generation, serves shard 0; its map sends shard-1
+    // keys through two dead ports to service B.
+    net::TcpConfig config_a;
+    config_a.basePort = kBasePort + 192;
+    TcpKvService a(Protocol::Hermes, 3, tcpOptions(), config_a,
+                   /*num_shards=*/2, /*shard_id=*/0);
+    // Service B: S=4 generation, serves shard 0; its map sends every
+    // non-owned shard through the dead ports back to A.
+    net::TcpConfig config_b;
+    config_b.basePort = kBasePort + 224;
+    TcpKvService b(Protocol::Hermes, 3, tcpOptions(), config_b,
+                   /*num_shards=*/4, /*shard_id=*/0);
+
+    app::ShardAddressMap map_a(2);
+    for (size_t r = 0; r < 3; ++r)
+        map_a[0].push_back(a.portOf(static_cast<NodeId>(r)));
+    map_a[1] = {dead_a, dead_b, b.portOf(0)};
+    a.setDeploymentMap(map_a);
+
+    app::ShardAddressMap map_b(4);
+    for (size_t r = 0; r < 3; ++r)
+        map_b[0].push_back(b.portOf(static_cast<NodeId>(r)));
+    for (size_t s = 1; s < 4; ++s)
+        map_b[s] = {dead_a, dead_b, a.portOf(0)};
+    b.setDeploymentMap(map_b);
+
+    a.start();
+    b.start();
+
+    KvClient client(a.portOf(0));
+    ASSERT_TRUE(client.connected());
+    ASSERT_EQ(client.numShards(), 2u);
+
+    // A key neither service will serve under the other's stamp: owned
+    // by old shard 1 (so A redirects toward B) and by a new shard B
+    // does not serve (so B redirects back toward A).
+    Key key = keyOwnedBy(1, 2);
+    ASSERT_NE(app::shardOfKey(key, 4), 0u);
+
+    TimeNs start = wallNowNs();
+    EXPECT_FALSE(client.write(key, "never-lands", 50_ms));
+    TimeNs elapsed = wallNowNs() - start;
+    EXPECT_LT(elapsed, 240_ms)
+        << "a 50 ms op burned " << elapsed / 1000000 << " ms rerouting";
+}
+
 TEST(ShardedTcp, KilledShardLeavesOthersServing)
 {
     // Fault isolation: kill one whole shard group (all three replica

@@ -290,6 +290,7 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     reply.status = net::ClientReplyMsg::Status::WrongShard;
     reply.mapShards = 4;
     reply.mapShard = 2;
+    reply.credits = 96;
     reply.mapPorts = {{17000, 17001, 17002}, {}, {17006}, {17009}};
     reply.value = "observed";
     auto outReply = roundTrip(stampEnvelope(reply));
@@ -299,6 +300,8 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     EXPECT_EQ(outReply.status, net::ClientReplyMsg::Status::WrongShard);
     EXPECT_EQ(outReply.mapShards, 4u);
     EXPECT_EQ(outReply.mapShard, 2u);
+    EXPECT_EQ(outReply.credits, 96u)
+        << "the HELLO credit grant must survive the wire";
     EXPECT_EQ(outReply.mapPorts, reply.mapPorts)
         << "the shard->address map must survive the wire: it is what a "
            "misrouted client re-routes from";
