@@ -11,9 +11,13 @@
  *  mlt calibration ............. spurious replays vs recovery latency
  */
 
+#include <cstdlib>
+#include <filesystem>
+
 #include "app/lin_checker.hh"
 #include "bench_util.hh"
 #include "hermes/replica.hh"
+#include "store/wal.hh"
 
 using namespace hermes;
 using namespace hermes::bench;
@@ -254,6 +258,72 @@ ablationZeroCopy()
 }
 
 void
+ablationDurability()
+{
+    // The per-node write-ahead log (store/wal.hh) trades write
+    // throughput for crash-restart durability. The sim charges
+    // walAppendPerByteNs per logged byte plus one fsyncNs per flush —
+    // at-poll-boundary for Group (the group-commit default), per-record
+    // for Every. "off" (no walDir) is the paper's in-memory Hermes and
+    // the baseline row. Every point re-verifies linearizability:
+    // logging must never change what the histories admit.
+    printHeader("Durability: WAL fsync policy vs value size "
+                "[uniform, 100% writes, 5 nodes]");
+    printRow({"valueBytes", "wal", "MReq/s", "slowdown", "linCheck"});
+    char wal_root[] = "/tmp/hermes-bench-wal-XXXXXX";
+    if (!mkdtemp(wal_root)) {
+        std::fprintf(stderr, "  mkdtemp failed; skipping sweep\n");
+        return;
+    }
+    int point = 0;
+    for (size_t value_size : {32u, 128u, 512u, 1024u, 4096u}) {
+        double in_memory = 0.0;
+        struct Policy {
+            const char *name;
+            bool durable;
+            store::FsyncPolicy fsync;
+        };
+        for (const Policy &policy :
+             {Policy{"off", false, store::FsyncPolicy::Never},
+              Policy{"group", true, store::FsyncPolicy::Group},
+              Policy{"every", true, store::FsyncPolicy::Every}}) {
+            app::ClusterConfig cluster_config = standardCluster(
+                app::Protocol::Hermes, 5, /*max_value=*/4096);
+            if (policy.durable) {
+                std::string dir = std::string(wal_root) + "/point"
+                                  + std::to_string(point++);
+                std::filesystem::create_directories(dir);
+                cluster_config.walDir = dir;
+                cluster_config.walFsync = policy.fsync;
+            }
+            cluster_config.replica.storeCapacity = 1 << 13;
+            app::SimCluster cluster(cluster_config);
+            cluster.start();
+            app::DriverConfig driver = standardDriver(1.0, 0.0, 160);
+            driver.workload.numKeys = 4096; // bound KiB-entry memory
+            driver.workload.valueSize = value_size;
+            driver.measure = 3_ms;
+            driver.quiesceAfter = 2_ms;
+            driver.recordHistory = true;
+            app::LoadDriver load(cluster, driver);
+            app::DriverResult result = load.run();
+            app::LinReport lin = app::checkShardedHistory(result.history);
+            g_linFailures += !lin.ok();
+            if (!policy.durable)
+                in_memory = result.throughputMops;
+            printRow({fmt(value_size, 0), policy.name,
+                      fmt(result.throughputMops),
+                      fmt(in_memory
+                              / std::max(result.throughputMops, 1e-9),
+                          2),
+                      lin.ok() ? "ok" : "FAIL"});
+        }
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(wal_root, ec);
+}
+
+void
 ablationMlt()
 {
     printHeader("mlt calibration under 2% message loss "
@@ -284,6 +354,7 @@ main()
     ablationLscFree();
     ablationBatching();
     ablationZeroCopy();
+    ablationDurability();
     ablationMlt();
     if (g_linFailures > 0) {
         std::fprintf(stderr, "%d lin-checked sweep point(s) FAILED\n",

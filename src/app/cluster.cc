@@ -1,5 +1,7 @@
 #include "app/cluster.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 #include "hermes/key_state.hh"
 
@@ -48,22 +50,107 @@ SimCluster::SimCluster(ClusterConfig config)
         membership::MembershipView initial{1, {}};
         for (size_t i = 0; i < live_per_group; ++i)
             initial.live.push_back(base + static_cast<NodeId>(i));
-        ReplicaOptions options = config_.replica;
-        options.hermesConfig.nodeBase = base;
-        // Batching policy follows the cost model's knobs so one config
-        // drives both the coalescing behavior and its charged costs.
-        options.batch = config_.cost.batchPolicy();
         for (size_t i = 0; i < config_.nodes; ++i) {
             NodeId id = base + static_cast<NodeId>(i);
             replicas_.push_back(makeReplica(config_.protocol,
                                             runtime_->env(id), initial,
-                                            options));
+                                            optionsForNode(s, id)));
             runtime_->attach(id, replicas_.back().get());
         }
     }
 }
 
 SimCluster::~SimCluster() = default;
+
+ReplicaOptions
+SimCluster::optionsForNode(uint32_t shard, NodeId id) const
+{
+    ReplicaOptions options = config_.replica;
+    options.hermesConfig.nodeBase = shardMap_.baseOf(shard);
+    // Batching policy follows the cost model's knobs so one config
+    // drives both the coalescing behavior and its charged costs.
+    options.batch = config_.cost.batchPolicy();
+    if (!config_.walDir.empty()) {
+        options.wal.path =
+            config_.walDir + "/node" + std::to_string(id) + ".wal";
+        options.wal.fsync = config_.walFsync;
+        options.wal.shard = shard;
+        // Durability costs follow the cost model too, so sweeps toggle
+        // one set of knobs and histories without a WAL stay identical.
+        options.wal.appendPerByteNs = config_.cost.walAppendPerByteNs;
+        options.wal.fsyncNs = config_.cost.fsyncNs;
+    }
+    return options;
+}
+
+void
+SimCluster::crashRestartNode(NodeId id)
+{
+    hermes_assert(config_.protocol == Protocol::Hermes);
+    hermes_assert(!config_.walDir.empty());
+    uint32_t shard = shardMap_.shardOfNode(id);
+    if (runtime_->alive(id))
+        runtime_->crash(id);
+
+    // Lowest-id live survivor: stands in for the RM's view-change
+    // proposer and serves as the state-transfer source. A whole-group
+    // outage has no survivor — that scenario is a cold restart through a
+    // fresh SimCluster over the same walDir instead.
+    NodeId source = kInvalidNode;
+    for (NodeId n : shardMap_.nodesOf(shard)) {
+        if (n != id && runtime_->alive(n)) {
+            source = n;
+            break;
+        }
+    }
+    hermes_assert(source != kInvalidNode);
+    Epoch epoch = replicas_[source]->hermes()->view().epoch;
+
+    // Epoch+1, without the crashed node: Hermes commits need an ACK from
+    // every live view member, so the survivors must drop it from the
+    // view or every write in the shard stalls until the rejoin.
+    membership::MembershipView without{epoch + 1, {}};
+    for (NodeId n : shardMap_.nodesOf(shard)) {
+        if (n != id && runtime_->alive(n))
+            without.live.push_back(n);
+    }
+    for (NodeId n : without.live) {
+        runtime_->submit(n, 0, [this, n, without] {
+            replicas_[n]->injectView(without);
+        });
+    }
+
+    // Revive the CPU first — the replacement's construction then runs
+    // against the fresh timer epoch — and destroy the old handle BEFORE
+    // building the new one: its dtor clears the Env flush hook, which
+    // would otherwise erase the replacement's registration.
+    runtime_->restart(id);
+    replicas_[id].reset();
+    // Built with the view that excludes it, the fresh replica starts as
+    // a shadow (serves nothing yet) and replays its WAL in the ctor:
+    // surviving records restore as Invalid at their original
+    // timestamps, healed below by state transfer or a §3.4 replay.
+    replicas_[id] = makeReplica(config_.protocol, runtime_->env(id),
+                                without, optionsForNode(shard, id));
+    runtime_->attach(id, replicas_[id].get());
+    runtime_->submit(id, 0, [this, id] { replicas_[id]->start(); });
+
+    // Epoch+2 re-admits the node; per-node FIFO job order guarantees the
+    // survivors see the shrink before the re-add. Then the reliable
+    // m-update-before-stream ordering of §3.4: sync starts only after
+    // the extended view is in.
+    membership::MembershipView with{epoch + 2, without.live};
+    with.live.push_back(id);
+    std::sort(with.live.begin(), with.live.end());
+    for (NodeId n : with.live) {
+        runtime_->submit(n, 0, [this, n, with] {
+            replicas_[n]->injectView(with);
+        });
+    }
+    runtime_->submit(id, 0, [this, id, source] {
+        replicas_[id]->hermes()->startShadowSync(source);
+    });
+}
 
 void
 SimCluster::start()

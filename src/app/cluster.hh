@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "app/replica_handle.hh"
@@ -103,6 +104,17 @@ struct ClusterConfig
     sim::CostModel cost{};
     uint64_t seed = 1;
     ReplicaOptions replica{};
+    /**
+     * Directory for per-node write-ahead logs; empty = durability off
+     * (the default, matching the paper's in-memory Hermes). With a
+     * directory set, node `id` logs to `<walDir>/node<id>.wal` and
+     * crashRestartNode() can rebuild a replica from that file mid-run.
+     * Sim costs for the log ride the cost model's walAppendPerByteNs /
+     * fsyncNs knobs.
+     */
+    std::string walDir;
+    /** fsync policy for the per-node WALs (walDir non-empty only). */
+    store::FsyncPolicy walFsync = store::FsyncPolicy::Group;
 };
 
 /**
@@ -160,6 +172,17 @@ class SimCluster
     /** Crash-stop a node (CPU halted, network severed). */
     void crash(NodeId id) { runtime_->crash(id); }
 
+    /**
+     * Crash-and-recover fault primitive (Hermes with walDir set only):
+     * crash-stop @p id if it is still alive, shrink its group's view so
+     * the survivors keep committing, then restart it as a fresh replica
+     * that replays its WAL and rejoins as a §3.4 shadow via state
+     * transfer from the lowest-id live survivor. The choreography is
+     * submitted as jobs — the caller advances the sim (runFor) to play
+     * it out; the node is operational once the transfer completes.
+     */
+    void crashRestartNode(NodeId id);
+
     /** Advance simulated time. */
     void runFor(DurationNs d) { runtime_->runFor(d); }
 
@@ -193,6 +216,9 @@ class SimCluster
     bool converged(Key key) const;
 
   private:
+    /** Per-node ReplicaOptions: shard-group base, batching, WAL path. */
+    ReplicaOptions optionsForNode(uint32_t shard, NodeId id) const;
+
     ClusterConfig config_;
     ShardMap shardMap_;
     std::unique_ptr<sim::SimRuntime> runtime_;

@@ -16,9 +16,66 @@ ReplicaHandle::ReplicaHandle(net::Env &env, const ReplicaOptions &options,
     // rounds never wait out a batching window.
     if (options.batch.enabled())
         batcher_ = std::make_unique<net::Batcher>(env, options.batch);
+    if (!options.wal.path.empty()) {
+        // Opens + recovers the log; the concrete handle replays the
+        // recovered records (replayWal) once its engine exists.
+        wal_ = std::make_unique<store::Wal>(options.wal);
+        wal_->setChargeFn([this](DurationNs ns) { env_.chargeCpu(ns); });
+        store_.setWal(wal_.get());
+        // Poll-boundary ordering: WAL group commit BEFORE the batcher's
+        // message flush — every record a window produced is durable
+        // before the ACKs/replies staged in that window leave the node
+        // (the replicate-and-persist-before-replying contract). This
+        // replaces the hook the Batcher registered for itself; the
+        // handle's dtor (and the Batcher's) clears it.
+        env_.setFlushHook([this] {
+            wal_->flush();
+            if (batcher_)
+                batcher_->flush();
+        });
+    }
     if (options.enableRm)
         rm_ = std::make_unique<membership::RmNode>(env, std::move(initial),
                                                    options.rmConfig);
+}
+
+ReplicaHandle::~ReplicaHandle()
+{
+    // The combined WAL+batcher hook captures `this`; a transport flush
+    // after destruction must find nothing. (When a replacement handle is
+    // built on the same Env — crash-restart — destroy the old handle
+    // FIRST, or this clear would erase the new handle's hook.)
+    if (wal_)
+        env_.setFlushHook(nullptr);
+}
+
+void
+ReplicaHandle::replayWal(uint8_t restore_state)
+{
+    if (!wal_)
+        return;
+    if (wal_->recovered().empty()) {
+        wal_->clearRecovered();
+        return;
+    }
+    // Arm the per-key recovery locks: withKey() serializes every live
+    // mutation of a replaying key against the replay's read-compare-
+    // apply below until recovery disarms them.
+    store_.setRecoveryLocks(&recoveryLocks_);
+    for (const store::WalRecord &rec : wal_->recovered()) {
+        store_.withKey(rec.key, [&](store::KeyRecord &krec) {
+            // Newest wins: records replay in append order, and a live
+            // INV that raced ahead of the replay must not regress.
+            if (rec.ts > krec.meta().ts) {
+                krec.meta().ts = rec.ts;
+                krec.meta().flags = rec.flags;
+                krec.meta().state = restore_state;
+                krec.setValue(rec.value);
+            }
+        });
+    }
+    store_.setRecoveryLocks(nullptr);
+    wal_->clearRecovered();
 }
 
 bool
@@ -79,6 +136,12 @@ class HermesHandle : public HandleBase<proto::HermesReplica>
     {
         engine_ = std::make_unique<proto::HermesReplica>(
             protoEnv(), store_, initial, options.hermesConfig);
+        // Crash recovery: surviving log records restore as Invalid — a
+        // logged write was not necessarily committed, so the value must
+        // not serve reads until the §3.4 replay or the rejoin's state
+        // transfer re-establishes it as Valid. Both heal with the
+        // ORIGINAL timestamp, so no acknowledged write is reordered.
+        replayWal(static_cast<uint8_t>(proto::KeyState::Invalid));
         if (rm_) {
             engine_->setOperationalCheck(
                 [rm = rm_.get()] { return rm->operational(); });
@@ -128,6 +191,12 @@ class CraqHandle : public HandleBase<craq::CraqReplica>
     {
         engine_ = std::make_unique<craq::CraqReplica>(protoEnv(), store_,
                                                       initial);
+        // Durability-cost sweeps only: the baselines append to the WAL
+        // at their apply sites but have no crash-restart choreography
+        // wired (recovery is the Hermes path); drop any recovered
+        // records instead of replaying protocol state we cannot honor.
+        if (wal_)
+            wal_->clearRecovered();
     }
 
     void
@@ -166,6 +235,12 @@ class ZabHandle : public HandleBase<zab::ZabReplica>
     {
         engine_ = std::make_unique<zab::ZabReplica>(protoEnv(), store_,
                                                     initial);
+        // Durability-cost sweeps only: the baselines append to the WAL
+        // at their apply sites but have no crash-restart choreography
+        // wired (recovery is the Hermes path); drop any recovered
+        // records instead of replaying protocol state we cannot honor.
+        if (wal_)
+            wal_->clearRecovered();
     }
 
     void
@@ -204,6 +279,12 @@ class LockstepHandle : public HandleBase<lockstep::LockstepReplica>
     {
         engine_ = std::make_unique<lockstep::LockstepReplica>(
             protoEnv(), store_, initial, options.lockstepConfig);
+        // Durability-cost sweeps only: the baselines append to the WAL
+        // at their apply sites but have no crash-restart choreography
+        // wired (recovery is the Hermes path); drop any recovered
+        // records instead of replaying protocol state we cannot honor.
+        if (wal_)
+            wal_->clearRecovered();
     }
 
     void

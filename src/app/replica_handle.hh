@@ -25,6 +25,7 @@
 #include "net/batcher.hh"
 #include "net/env.hh"
 #include "store/kvs.hh"
+#include "store/wal.hh"
 
 namespace hermes::app
 {
@@ -46,6 +47,17 @@ struct ReplicaOptions
      * = the engine sends on the raw transport Env.
      */
     net::BatchPolicy batch{};
+    /**
+     * Write-ahead log (store/wal.hh). An empty path = no durability (the
+     * default, matching the paper's in-memory Hermes). With a path set,
+     * the handle opens/recovers the log at construction, replays
+     * surviving records into the KVS before the engine serves anything
+     * (Hermes: restored Invalid, healed via replay/state transfer), and
+     * group-commits at the Env's poll-boundary flush — WAL before
+     * batcher, so a record is durable before the ACK/reply staged in the
+     * same window leaves the node.
+     */
+    store::WalConfig wal{};
 };
 
 /**
@@ -59,7 +71,7 @@ class ReplicaHandle : public net::Node
     using WriteCallback = std::function<void()>;
     using CasCallback = std::function<void(bool, const Value &)>;
 
-    ~ReplicaHandle() override = default;
+    ~ReplicaHandle() override;
 
     // ---- Client API ----
     virtual void read(Key key, ReadCallback cb) = 0;
@@ -89,6 +101,9 @@ class ReplicaHandle : public net::Node
     /** The engine's coalescing layer; nullptr when batching is off. */
     net::Batcher *batcher() { return batcher_.get(); }
 
+    /** The write-ahead log; nullptr when durability is off. */
+    store::Wal *wal() { return wal_.get(); }
+
   protected:
     ReplicaHandle(net::Env &env, const ReplicaOptions &options,
                   membership::MembershipView initial);
@@ -99,10 +114,22 @@ class ReplicaHandle : public net::Node
     /** The Env the protocol engine sends on (batched when configured). */
     net::Env &protoEnv() { return batcher_ ? *batcher_ : env_; }
 
+    /**
+     * Replay the WAL's recovered records into the KVS (no-op without a
+     * WAL), restoring each surviving key's value/timestamp with protocol
+     * state byte @p restore_state, newest timestamp wins. Runs with the
+     * per-key recovery lock table armed, so a concurrently delivered
+     * INV/write for the same key serializes against the replay instead
+     * of interleaving with it. Called from the concrete handle's ctor.
+     */
+    void replayWal(uint8_t restore_state);
+
     net::Env &env_;
     store::KvStore store_;
+    std::unique_ptr<store::Wal> wal_;       ///< outlives batcher_'s dtor
     std::unique_ptr<net::Batcher> batcher_; ///< before rm_: RM stays raw
     std::unique_ptr<membership::RmNode> rm_;
+    store::KeyLockTable recoveryLocks_;
 };
 
 /** Build the replica assembly for @p protocol on @p env. */

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 
 #include "app/cluster.hh"
@@ -40,16 +41,19 @@ steadyNowNs()
 TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
                            ReplicaOptions options, net::TcpConfig config,
                            size_t num_shards, uint32_t shard_id)
-    : cluster_(nodes, config), numShards_(num_shards ? num_shards : 1),
-      shardId_(shard_id)
+    : cluster_(nodes, config), protocol_(protocol),
+      baseOptions_(std::move(options)),
+      numShards_(num_shards ? num_shards : 1), shardId_(shard_id)
 {
     hermes_assert(shardId_ < numShards_);
     net::registerClientCodecs();
+    if (!baseOptions_.wal.path.empty())
+        std::filesystem::create_directories(baseOptions_.wal.path);
     membership::MembershipView initial = membership::initialView(nodes);
     for (size_t i = 0; i < nodes; ++i) {
         auto id = static_cast<NodeId>(i);
-        replicas_.push_back(
-            makeReplica(protocol, cluster_.env(id), initial, options));
+        replicas_.push_back(makeReplica(protocol_, cluster_.env(id),
+                                        initial, optionsFor(id)));
         cluster_.attach(id, replicas_.back().get());
         cluster_.setClientHandler(
             id, [this, id](net::ClientConnId conn,
@@ -57,6 +61,20 @@ TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
                 handleClientFrame(id, conn, msg);
             });
     }
+}
+
+ReplicaOptions
+TcpKvService::optionsFor(NodeId id) const
+{
+    ReplicaOptions options = baseOptions_;
+    if (!options.wal.path.empty()) {
+        // baseOptions_.wal.path is the group's log DIRECTORY; each
+        // replica owns one file in it, so a restarted replica replays
+        // its own records and nobody else's.
+        options.wal.path += "/replica" + std::to_string(id) + ".wal";
+        options.wal.shard = shardId_;
+    }
+    return options;
 }
 
 TcpKvService::~TcpKvService()
@@ -74,6 +92,78 @@ void
 TcpKvService::stop()
 {
     cluster_.stop();
+}
+
+void
+TcpKvService::drain()
+{
+    cluster_.drain();
+}
+
+void
+TcpKvService::restartReplica(NodeId id)
+{
+    hermes_assert(protocol_ == Protocol::Hermes);
+    hermes_assert(!baseOptions_.wal.path.empty());
+    if (cluster_.running(id))
+        cluster_.crash(id);
+
+    // Lowest-id live survivor: stands in for the RM's view-change
+    // proposer and serves as the state-transfer source.
+    NodeId source = kInvalidNode;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+        auto n = static_cast<NodeId>(i);
+        if (n != id && cluster_.running(n)) {
+            source = n;
+            break;
+        }
+    }
+    hermes_assert(source != kInvalidNode);
+    Epoch epoch = 0;
+    cluster_.runOn(source, [&] {
+        epoch = replicas_[source]->hermes()->view().epoch;
+    });
+
+    // Epoch+1, without the crashed node: Hermes commits need an ACK
+    // from every live view member, so the survivors must drop it or
+    // every write in the group stalls until the rejoin completes.
+    membership::MembershipView without{epoch + 1, {}};
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+        auto n = static_cast<NodeId>(i);
+        if (n != id && cluster_.running(n))
+            without.live.push_back(n);
+    }
+    for (NodeId n : without.live)
+        cluster_.runOn(n, [&] { replicas_[n]->injectView(without); });
+
+    // Destroy the old handle BEFORE building the new one: its dtor
+    // clears the loop Env's flush hook (which would otherwise erase the
+    // replacement's registration) and flushes + closes the old WAL
+    // before the new one scans the same file. The loop thread is down,
+    // so constructing against its Env from this thread is safe. Built
+    // with the view that excludes it, the fresh replica starts as a
+    // shadow and replays its WAL in the ctor: surviving records restore
+    // as Invalid at their original timestamps, healed below by the
+    // state transfer.
+    replicas_[id].reset();
+    replicas_[id] =
+        makeReplica(protocol_, cluster_.env(id), without, optionsFor(id));
+    cluster_.attach(id, replicas_[id].get());
+    // Re-dial the full mesh and run the replica's start(); returns once
+    // the loop services injected calls again.
+    cluster_.restart(id);
+
+    // Epoch+2 re-admits the node, then the reliable m-update-before-
+    // stream ordering of §3.4: sync starts only after the extended view
+    // is in everywhere.
+    membership::MembershipView with{epoch + 2, without.live};
+    with.live.push_back(id);
+    std::sort(with.live.begin(), with.live.end());
+    for (NodeId n : with.live)
+        cluster_.runOn(n, [&] { replicas_[n]->injectView(with); });
+    cluster_.runOn(id, [&] {
+        replicas_[id]->hermes()->startShadowSync(source);
+    });
 }
 
 void
@@ -210,9 +300,14 @@ ShardedTcpDeployment::ShardedTcpDeployment(Protocol protocol, size_t shards,
         net::TcpConfig group = config;
         group.basePort = static_cast<uint16_t>(
             config.basePort + s * replicas_per_shard);
+        // Per-shard WAL subdirectory under the deployment's directory;
+        // the group then gives each replica its own file inside it.
+        ReplicaOptions group_options = options;
+        if (!options.wal.path.empty())
+            group_options.wal.path += "/shard" + std::to_string(s);
         groups_.push_back(std::make_unique<TcpKvService>(
-            protocol, replicas_per_shard, options, group, shards,
-            static_cast<uint32_t>(s)));
+            protocol, replicas_per_shard, std::move(group_options), group,
+            shards, static_cast<uint32_t>(s)));
     }
     map_.resize(shards);
     for (size_t s = 0; s < shards; ++s) {
@@ -337,10 +432,11 @@ KvClient::connectionFor(uint32_t shard, TimeNs deadline)
             }
             // Few dial attempts: the deployment is already up when a
             // map advertises it, so a refusing port means a dead
-            // replica — fail over to the next one fast. Each failed
-            // attempt sleeps 20 ms, so size the retry count to the
-            // op's remaining budget and stop dialing entirely once it
-            // is spent — the seed fallback below still answers (with
+            // replica — fail over to the next one fast. Failed attempts
+            // sleep on the jittered exponential backoff (~5/10/20 ms
+            // gaps at this depth), so size the retry count to the op's
+            // remaining budget and stop dialing entirely once it is
+            // spent — the seed fallback below still answers (with
             // WrongShard) within whatever time is left.
             TimeNs remaining = deadline - steadyNowNs();
             if (remaining <= 0)
@@ -528,13 +624,21 @@ KvSessionClient::dial(uint16_t port, int connect_attempts)
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
     bool ok = false;
+    net::DialBackoff backoff;
     for (int attempt = 0; attempt < connect_attempts; ++attempt) {
+        net::DialBackoff::noteDialAttempt();
         if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
                     sizeof(addr)) == 0) {
             ok = true;
             break;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        // Jittered exponential pacing, no sleep after the final
+        // failure: a held-down shard costs a bounded number of dials,
+        // not an immediate-redial hammer.
+        if (attempt + 1 < connect_attempts) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff.nextDelayMs()));
+        }
     }
     if (ok) {
         // The transport hello's third word is the requested credit

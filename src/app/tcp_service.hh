@@ -57,6 +57,11 @@ class TcpKvService
      * the wrong group. The client's stamped shard *count* is checked
      * against num_shards before anything hashes or indexes, so a garbage
      * stamp can never address the map.
+     *
+     * Durability: when options.wal.path is non-empty it names a
+     * DIRECTORY (created on demand) — replica i logs to
+     * `<dir>/replica<i>.wal`, each replica its own file, so a
+     * crash-restarted replica replays exactly its own records.
      */
     TcpKvService(Protocol protocol, size_t nodes, ReplicaOptions options,
                  net::TcpConfig config = {}, size_t num_shards = 1,
@@ -89,6 +94,28 @@ class TcpKvService
     /** Kill one replica (closes its sockets, halts its loop). */
     void crash(NodeId id) { cluster_.crash(id); }
 
+    /**
+     * Crash-restart recovery over real sockets (Hermes + WAL only): if
+     * replica @p id is still running, kill its loop first; then shrink
+     * the survivors' view (epoch+1) so writes commit without it,
+     * rebuild the replica from its own WAL file (records restore as
+     * Invalid at their logged timestamps), restart the loop — which
+     * re-dials the full mesh itself — extend the view (epoch+2), and
+     * stream the §3.4 shadow state transfer from the lowest-id live
+     * survivor. Returns once the sync has been started; the caller
+     * polls isShadow() for completion. Whole-group outages have no
+     * survivor and are out of scope (cold restart = new service over
+     * the same WAL directory).
+     */
+    void restartReplica(NodeId id);
+
+    /**
+     * Graceful shutdown: stop accepting new sessions on every replica,
+     * run one final flush (WAL group-commit buffers included), then
+     * stop and join the loop threads. Terminal — use instead of stop().
+     */
+    void drain();
+
   private:
     void handleClientFrame(NodeId node, net::ClientConnId conn,
                            const std::shared_ptr<net::Message> &msg);
@@ -96,7 +123,13 @@ class TcpKvService
     /** The map to advertise: the deployment's, or just our own entry. */
     ShardAddressMap advertisedMap() const;
 
+    /** Per-replica options: the WAL directory resolved to this
+     *  replica's own log file. */
+    ReplicaOptions optionsFor(NodeId id) const;
+
     net::TcpCluster cluster_;
+    Protocol protocol_;
+    ReplicaOptions baseOptions_;
     std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
     size_t numShards_;
     uint32_t shardId_;
@@ -145,6 +178,24 @@ class ShardedTcpDeployment
      * tests assert.
      */
     void crashShard(uint32_t s) { groups_.at(s)->stop(); }
+
+    /** Crash-restart one replica of one shard from its WAL (see
+     *  TcpKvService::restartReplica). The deployment's WAL layout is
+     *  per-replica: shard s, replica r logs to
+     *  `<walDir>/shard<s>/replica<r>.wal`. */
+    void
+    restartReplica(uint32_t shard, NodeId replica)
+    {
+        groups_.at(shard)->restartReplica(replica);
+    }
+
+    /** Gracefully drain every shard group (see TcpKvService::drain). */
+    void
+    drain()
+    {
+        for (auto &group : groups_)
+            group->drain();
+    }
 
   private:
     size_t replicasPerShard_;

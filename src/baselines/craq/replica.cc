@@ -1,6 +1,7 @@
 #include "baselines/craq/replica.hh"
 
 #include "common/logging.hh"
+#include "store/wal.hh"
 
 namespace hermes::craq
 {
@@ -151,6 +152,10 @@ CraqReplica::headIngest(Key key, ValueRef value, NodeId origin, uint64_t req_id)
         return rec.meta().ts.version;
     });
     dirty_[key].emplace_back(version, value);
+    // Durability contract: the head persists the version it just minted
+    // before propagating it down the chain.
+    if (store::Wal *wal = store_.wal())
+        wal->append(key, Timestamp{version, 0}, 0, value);
 
     if (view_.live.size() == 1) {
         commitLocal(key, version);
@@ -284,6 +289,11 @@ CraqReplica::onWrite(const WriteMsg &msg)
                     rec.meta().ts.version = msg.version;
                 rec.meta().state = kDirty;
             });
+            // Persist before the ack/commit this write triggers below
+            // (the tail's ack is what commits the whole chain).
+            if (store::Wal *wal = store_.wal())
+                wal->append(msg.key, Timestamp{msg.version, 0}, 0,
+                            msg.value);
         }
     }
     if (duplicate && list.empty())

@@ -1,6 +1,7 @@
 #include "baselines/lockstep/replica.hh"
 
 #include "common/logging.hh"
+#include "store/wal.hh"
 
 namespace hermes::lockstep
 {
@@ -213,10 +214,15 @@ LockstepReplica::tryDeliver()
         for (Entry &entry : pending.entries) {
             ++stats_.entriesDelivered;
             env_.chargeStoreAccess(1);
-            store_.withKey(entry.key, [&](KeyRecord &rec) {
-                rec.meta().ts.version += 1;
-                rec.setValue(entry.value);
-            });
+            uint32_t applied_version =
+                store_.withKey(entry.key, [&](KeyRecord &rec) {
+                    rec.meta().ts.version += 1;
+                    rec.setValue(entry.value);
+                    return rec.meta().ts.version;
+                });
+            if (store::Wal *wal = store_.wal())
+                wal->append(entry.key, Timestamp{applied_version, 0}, 0,
+                            entry.value);
             if (entry.origin == env_.self()) {
                 auto op = clientOps_.find(entry.reqId);
                 if (op != clientOps_.end()) {

@@ -1,6 +1,7 @@
 #include "baselines/zab/replica.hh"
 
 #include "common/logging.hh"
+#include "store/wal.hh"
 
 namespace hermes::zab
 {
@@ -206,6 +207,10 @@ ZabReplica::applyUpTo(uint64_t commit_bound)
             rec.meta().ts.version = static_cast<uint32_t>(lastApplied_);
             rec.setValue(entry.value);
         });
+        if (store::Wal *wal = store_.wal())
+            wal->append(entry.key,
+                        Timestamp{static_cast<uint32_t>(lastApplied_), 0},
+                        0, entry.value);
         if (entry.origin == env_.self()) {
             auto op = clientOps_.find(entry.reqId);
             if (op != clientOps_.end()) {

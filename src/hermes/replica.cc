@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "store/wal.hh"
 
 namespace hermes::proto
 {
@@ -184,6 +185,11 @@ HermesReplica::issueUpdate(Key key, ValueRef value, bool rmw,
         rec.meta().flags = rmw ? kRmwFlag : 0;
         rec.setValue(value);
     });
+    // Persist before the INV broadcast below: under fsync-every the
+    // record is durable before any peer can learn (and ack) the write;
+    // under group commit both ride the same poll-boundary flush.
+    if (store::Wal *wal = store_.wal())
+        wal->append(key, new_ts, rmw ? kRmwFlag : 0, value);
     if (rmw)
         ++stats_.rmwsIssued;
     else
@@ -397,6 +403,7 @@ HermesReplica::onInv(const InvMsg &msg)
     struct ApplyResult
     {
         bool ackIt;
+        bool adopted;
         Timestamp localTs;
         uint8_t localFlags;
         ValueRef localValue;
@@ -409,7 +416,7 @@ HermesReplica::onInv(const InvMsg &msg)
         // FACK for writes is unconditional; FRMW-ACK (§3.6) only for a
         // timestamp at least as high as the local one.
         bool ack_it = !msg.rmw || msg.ts >= meta.ts;
-        ApplyResult r{ack_it, meta.ts, meta.flags, {}};
+        ApplyResult r{ack_it, higher, meta.ts, meta.flags, {}};
         if (higher) {
             // FINV: adopt value + timestamp; a coordinator/replayer whose
             // own update is in flight parks in Trans instead of Invalid.
@@ -429,6 +436,15 @@ HermesReplica::onInv(const InvMsg &msg)
         }
         return r;
     });
+
+    // Follower-side persistence: an adopted INV is exactly the state a
+    // crashed follower must not forget — the ACK it sends below is what
+    // lets the coordinator commit.
+    if (result.adopted) {
+        if (store::Wal *wal = store_.wal())
+            wal->append(msg.key, msg.ts, msg.rmw ? kRmwFlag : 0,
+                        msg.value);
+    }
 
     // Interactions with an update we are coordinating on this key.
     auto it = pending_.find(msg.key);
@@ -684,7 +700,7 @@ HermesReplica::onStateChunk(const StateChunkMsg &msg)
         return; // duplicate or stale chunk
     }
     for (const StateEntry &entry : msg.entries) {
-        store_.withKey(entry.key, [&](KeyRecord &rec) {
+        bool applied = store_.withKey(entry.key, [&](KeyRecord &rec) {
             // Writes racing the transfer may already have delivered a
             // newer version via INV; never regress.
             if (entry.ts > rec.meta().ts) {
@@ -693,8 +709,25 @@ HermesReplica::onStateChunk(const StateChunkMsg &msg)
                 rec.meta().state = static_cast<uint8_t>(
                     entry.valid ? KeyState::Valid : KeyState::Invalid);
                 rec.setValue(entry.value);
+                return true;
             }
+            // Equal timestamp, source says Valid: same justification as
+            // a VAL message — the transfer source observed this exact
+            // version committed. A WAL-replayed key (restored Invalid,
+            // bytes already correct) upgrades here without waiting for a
+            // §3.4 replay round.
+            if (entry.ts == rec.meta().ts && entry.valid
+                    && static_cast<KeyState>(rec.meta().state)
+                           == KeyState::Invalid) {
+                rec.meta().state = static_cast<uint8_t>(KeyState::Valid);
+            }
+            return false;
         });
+        // Catch-up data a crash must not lose either: log what we adopt.
+        if (applied) {
+            if (store::Wal *wal = store_.wal())
+                wal->append(entry.key, entry.ts, entry.flags, entry.value);
+        }
     }
     shadowOffset_ += msg.entries.size();
     if (msg.done) {

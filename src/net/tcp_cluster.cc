@@ -50,6 +50,9 @@ std::atomic<uint64_t> g_session_pauses{0};
 /** High-water mark of per-session in-flight requests. */
 std::atomic<uint64_t> g_max_session_inflight{0};
 
+/** Process-wide connect() attempts (see DialBackoff::dialAttempts). */
+std::atomic<uint64_t> g_dial_attempts{0};
+
 void
 noteSessionInflight(uint32_t inflight)
 {
@@ -137,6 +140,49 @@ encodeCreditFrame(uint32_t credits, std::vector<uint8_t> &out)
 }
 
 } // namespace
+
+// ---------------------------------------------------------------------
+// DialBackoff
+// ---------------------------------------------------------------------
+
+DialBackoff::DialBackoff(uint64_t seed)
+    : state_(seed ? seed
+                  : static_cast<uint64_t>(steadyNowNs())
+                        ^ reinterpret_cast<uintptr_t>(this))
+{}
+
+uint32_t
+DialBackoff::nextDelayMs()
+{
+    // Full jitter over [base, 2*base): concurrent clients whose shard
+    // died at the same instant must not redial in lockstep.
+    state_ += 0x9E3779B97F4A7C15ull;
+    uint64_t mixed = state_;
+    mixed = (mixed ^ (mixed >> 30)) * 0xBF58476D1CE4E5B9ull;
+    mixed = (mixed ^ (mixed >> 27)) * 0x94D049BB133111EBull;
+    mixed ^= mixed >> 31;
+    uint32_t delay = baseMs_ + static_cast<uint32_t>(mixed % baseMs_);
+    baseMs_ = std::min(baseMs_ * 2, kCapMs);
+    return delay;
+}
+
+uint64_t
+DialBackoff::dialAttempts()
+{
+    return g_dial_attempts.load(std::memory_order_relaxed);
+}
+
+void
+DialBackoff::resetDialAttempts()
+{
+    g_dial_attempts.store(0, std::memory_order_relaxed);
+}
+
+void
+DialBackoff::noteDialAttempt()
+{
+    g_dial_attempts.fetch_add(1, std::memory_order_relaxed);
+}
 
 // ---------------------------------------------------------------------
 // NodeLoop
@@ -252,6 +298,56 @@ class TcpCluster::NodeLoop
         wake();
         if (thread_.joinable())
             thread_.join();
+        // Scrub the dead loop's leftovers so a later restartThread()
+        // cannot fire the previous life's timers or cross-thread calls
+        // into a replaced replica object, or flush stale frames to a
+        // recycled fd number.
+        timerHeap_.clear();
+        timerFns_.clear();
+        staged_.clear();
+        {
+            std::lock_guard<std::mutex> guard(injectMutex_);
+            injected_.clear();
+        }
+    }
+
+    /**
+     * Bring a crashed loop back up. The listener is still bound (run()'s
+     * exit path deliberately keeps it) and the epoll instance — with the
+     * wake pipe and listener registrations — survives too, so the new
+     * thread only re-dials the mesh. Timers registered between the join
+     * and this call (the replacement replica's constructor arms its
+     * heartbeats through the loop Env) are kept: stopThread() already
+     * scrubbed everything older.
+     */
+    void
+    restartThread()
+    {
+        hermes_assert(!thread_.joinable() && stop_.load());
+        stop_.store(false);
+        rejoin_ = true;
+        thread_ = std::thread([this] { run(); });
+    }
+
+    bool
+    running() const
+    {
+        return thread_.joinable() && !stop_.load();
+    }
+
+    /** Loop-thread only: close the listener so no new peer or client
+     *  connection is ever accepted again (drain phase 1). */
+    void
+    stopAccepting()
+    {
+        if (listenFd_ < 0)
+            return;
+#ifdef __linux__
+        if (epollFd_ >= 0)
+            epoll_ctl(epollFd_, EPOLL_CTL_DEL, listenFd_, nullptr);
+#endif
+        close(listenFd_);
+        listenFd_ = -1;
     }
 
     void
@@ -535,8 +631,16 @@ class TcpCluster::NodeLoop
     establishMesh()
     {
         // Deterministic mesh: this node dials every lower id; higher ids
-        // dial us (handled by the accept path).
-        for (NodeId peer = 0; peer < id_; ++peer) {
+        // dial us (handled by the accept path). A REJOINING node dials
+        // everyone instead: the higher ids dialed us once, at their own
+        // startup, and never redial — the restarted node brings the full
+        // mesh back itself, and the survivors learn its new socket from
+        // the peer hello (which registers direction-agnostically).
+        NodeId limit = rejoin_ ? static_cast<NodeId>(numNodes_) : id_;
+        rejoin_ = false;
+        for (NodeId peer = 0; peer < limit; ++peer) {
+            if (peer == id_)
+                continue;
             int fd = connectToPeer(peer);
             if (fd < 0)
                 return;
@@ -574,8 +678,15 @@ class TcpCluster::NodeLoop
         auto it = conns_.find(fd);
         if (it == conns_.end())
             return;
-        if (it->second.isPeer && it->second.peerId != kInvalidNode)
-            peerFd_.erase(it->second.peerId);
+        if (it->second.isPeer && it->second.peerId != kInvalidNode) {
+            // Only un-map the peer if this fd still IS its route: after
+            // a peer crash-restarts, its new dial re-registers the peer
+            // id before the old socket's EOF necessarily arrives, and a
+            // late close must not sever the fresh connection's mapping.
+            auto pit = peerFd_.find(it->second.peerId);
+            if (pit != peerFd_.end() && pit->second == fd)
+                peerFd_.erase(pit);
+        }
         if (!it->second.isPeer)
             clientConns_.erase(it->second.clientId);
         staged_.erase(fd);
@@ -1012,7 +1123,9 @@ class TcpCluster::NodeLoop
     run()
     {
 #ifdef __linux__
-        if (config_.useEpoll) {
+        // On a restart the epoll instance (wake pipe + listener already
+        // registered) survives from the previous life: reuse it.
+        if (config_.useEpoll && epollFd_ < 0) {
             epollFd_ = epoll_create1(0);
             if (epollFd_ >= 0) {
                 epoll_event ev{};
@@ -1060,11 +1173,21 @@ class TcpCluster::NodeLoop
             returnPendingCredits();
         }
 
+        // Final best-effort flush on the way out: a graceful drain()
+        // must push the Env flush hook (WAL group-commit buffers) and
+        // any staged replies before the sockets close. A crash-style
+        // stop loses whatever a real crash would lose — the WAL's
+        // recovery path owns that case.
+        env_.flush();
+        flushStaged();
+
         for (auto &kv : conns_)
             close(kv.second.fd);
         conns_.clear();
         peerFd_.clear();
         clientConns_.clear();
+        // The listener (still bound) and epoll instance survive for a
+        // potential restartThread(); the destructor closes them.
     }
 
     TcpCluster &cluster_;
@@ -1078,6 +1201,7 @@ class TcpCluster::NodeLoop
     int wakePipe_[2] = {-1, -1};
     std::thread thread_;
     std::atomic<bool> stop_{false};
+    bool rejoin_ = false; ///< next run() re-dials the FULL mesh
 
     std::map<int, Conn> conns_;
     std::map<NodeId, int> peerFd_;
@@ -1188,6 +1312,42 @@ TcpCluster::crash(NodeId id)
     loops_.at(id)->stopThread();
 }
 
+void
+TcpCluster::restart(NodeId id)
+{
+    hermes_assert(started_);
+    loops_.at(id)->restartThread();
+    // Same barrier as start(): the loop services injected calls only
+    // after establishMesh() and the replica's start(), so a no-op runOn
+    // returning means the node is fully back in the mesh.
+    loops_.at(id)->runOnAndWait([] {});
+}
+
+bool
+TcpCluster::running(NodeId id) const
+{
+    return loops_.at(id)->running();
+}
+
+void
+TcpCluster::drain()
+{
+    if (!started_)
+        return;
+    // Phase 1: close every listener so no new session lands while the
+    // existing ones finish their in-flight replies.
+    for (auto &loop : loops_) {
+        if (loop->running())
+            loop->runOnAndWait([&l = *loop] { l.stopAccepting(); });
+    }
+    // Phase 2: stop each loop; its exit path runs one final Env flush
+    // (which the service wires to the WAL's group-commit flush) and
+    // pushes staged frames before the sockets close.
+    for (auto &loop : loops_)
+        loop->stopThread();
+    started_ = false;
+}
+
 uint16_t
 TcpCluster::portOf(NodeId id) const
 {
@@ -1247,7 +1407,9 @@ TcpClient::TcpClient(uint16_t port, int connect_attempts,
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
+    DialBackoff backoff;
     for (int attempt = 0; attempt < connect_attempts; ++attempt) {
+        DialBackoff::noteDialAttempt();
         if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
                     sizeof(addr)) == 0) {
             setNoDelay(fd);
@@ -1262,7 +1424,12 @@ TcpClient::TcpClient(uint16_t port, int connect_attempts,
             }
             break;
         }
-        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        // No immediate redial, and no sleep after the final failure:
+        // the backoff paces the retries, the attempt budget bounds them.
+        if (attempt + 1 < connect_attempts) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(backoff.nextDelayMs()));
+        }
     }
     close(fd);
 }

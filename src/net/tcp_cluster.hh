@@ -64,6 +64,40 @@ constexpr uint32_t kHelloMagic = 0x57494E47; // "WING"
 constexpr uint32_t kHelloClient = 1;         // hello kind: client session
 constexpr uint8_t kFrameBatch = 0;           // frame kind: message batch
 
+/**
+ * Jittered capped exponential backoff for dial retries. A client whose
+ * shard is held down must not hammer the dead port with immediate
+ * redials: successive failed attempts wait ~5, ~10, ~20 … ms (doubling,
+ * jittered by up to the base, capped), so a bounded attempt budget
+ * spans a useful wall-clock window while the total number of connect()
+ * calls stays small. Every dial attempt in the process — TcpClient,
+ * the session client, anything built on them — ticks a process-wide
+ * counter the reconnect regression tests assert against.
+ */
+class DialBackoff
+{
+  public:
+    /** Base delay doubles from kBaseMs up to kCapMs per failure. */
+    static constexpr uint32_t kBaseMs = 5;
+    static constexpr uint32_t kCapMs = 160;
+
+    explicit DialBackoff(uint64_t seed = 0);
+
+    /** Delay (ms) to sleep before the NEXT attempt; grows each call. */
+    uint32_t nextDelayMs();
+
+    /** Process-wide count of connect() attempts (all dialers). */
+    static uint64_t dialAttempts();
+    /** Zero the process-wide dial-attempt counter (test hook). */
+    static void resetDialAttempts();
+    /** Tick the process-wide dial-attempt counter. */
+    static void noteDialAttempt();
+
+  private:
+    uint32_t baseMs_ = kBaseMs;
+    uint64_t state_;
+};
+
 /** Tuning knobs for the Wings-over-TCP layer. */
 struct TcpConfig
 {
@@ -159,6 +193,28 @@ class TcpCluster
     /** Simulate a crash: kill node @p id 's loop and close its sockets. */
     void crash(NodeId id);
 
+    /**
+     * Restart a crashed node's loop. The listener stayed bound across
+     * the crash, so clients can re-dial the same port; the restarted
+     * loop re-dials the FULL mesh itself (survivors dialed it once, at
+     * their own startup, and never again — they learn the new socket
+     * from its peer hello). Attach the replacement protocol replica
+     * BEFORE calling; returns once the mesh is re-established and the
+     * replica's start() ran (same barrier as start()).
+     */
+    void restart(NodeId id);
+
+    /** True while node @p id 's loop thread is running. */
+    bool running(NodeId id) const;
+
+    /**
+     * Graceful shutdown: every loop first stops accepting new
+     * connections, then runs one final flush (the Env flush hook —
+     * WAL group-commit buffers included — plus staged frames) before
+     * its thread stops and joins. Terminal: use instead of stop().
+     */
+    void drain();
+
     uint16_t portOf(NodeId id) const;
 
     /**
@@ -216,8 +272,9 @@ class TcpClient
     /**
      * Connect to the replica listening on @p port (localhost).
      *
-     * @param connect_attempts dial retries (20 ms apart) before giving
-     *        up. The default rides out a service that is still binding;
+     * @param connect_attempts dial retries (DialBackoff-paced: jittered
+     *        exponential, ~5 ms first gap, capped) before giving up.
+     *        The default rides out a service that is still binding;
      *        re-route dials against an address-map entry use a small
      *        count so a crashed shard fails fast instead of stalling the
      *        client for seconds.

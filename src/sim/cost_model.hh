@@ -144,6 +144,22 @@ struct CostModel
                                        * value_bytes);
     }
 
+    // ---- Durability (store/wal.hh) ----
+    //
+    // Charged only when a replica runs with a WAL attached (the handle
+    // forwards them through the Wal's charge hook), so default
+    // non-durable sim histories stay byte-identical — the same ablation
+    // discipline as the zero-copy knobs above.
+
+    /** CPU cost per WAL byte staged (CRC + framing + buffer append). */
+    double walAppendPerByteNs = 0.2;
+    /**
+     * One fsync's latency charged to the flushing worker. 20 µs models
+     * an enterprise NVMe write-cache flush; spinning rust would be three
+     * orders worse and is not what the paper's testbed would deploy.
+     */
+    DurationNs fsyncNs = 20000;
+
     /** True when the knobs describe a usable batching window. */
     bool
     batchingEnabled() const

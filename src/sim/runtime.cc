@@ -36,11 +36,20 @@ class SimRuntime::NodeEnv : public net::Env
     net::TimerId
     setTimer(DurationNs after, std::function<void()> fn) override
     {
+        // Timers belong to the node incarnation that armed them: after a
+        // crash-restart the old engine is destroyed, and a stale timer
+        // firing into the fresh one would be a use-after-free in spirit
+        // (and, for captured engine pointers, in fact). The epoch check
+        // drops them; while merely crashed, submit() drops them anyway.
         return rt_.events_.scheduleAfter(
-            after, [this, fn = std::move(fn)] {
-                rt_.submit(id_, 0, fn);
+            after, [this, fn = std::move(fn), epoch = epoch_] {
+                if (epoch == epoch_)
+                    rt_.submit(id_, 0, fn);
             });
     }
+
+    /** Invalidate every timer armed by the previous incarnation. */
+    void bumpEpoch() { ++epoch_; }
 
     void cancelTimer(net::TimerId id) override { rt_.events_.cancel(id); }
 
@@ -64,6 +73,7 @@ class SimRuntime::NodeEnv : public net::Env
     SimRuntime &rt_;
     NodeId id_;
     Rng rng_;
+    uint64_t epoch_ = 0;
 };
 
 SimRuntime::SimRuntime(size_t nodes, const CostModel &cost, uint64_t seed)
@@ -154,10 +164,14 @@ SimRuntime::startJob(NodeId node, TimeNs at)
     Job job = std::move(cpu.queue.front());
     cpu.queue.pop_front();
     TimeNs exec_at = at + job.cost;
-    events_.scheduleAt(exec_at,
-                       [this, node, job = std::move(job), exec_at]() mutable {
-                           execJob(node, std::move(job), exec_at);
-                       });
+    // The incarnation check (not just `alive`) keeps a pre-crash job's
+    // execution event from running into a restarted node: restart flips
+    // alive back to true, the incarnation counter never goes back.
+    events_.scheduleAt(exec_at, [this, node, job = std::move(job), exec_at,
+                                 inc = cpu.incarnation]() mutable {
+        if (cpus_[node].incarnation == inc)
+            execJob(node, std::move(job), exec_at);
+    });
 }
 
 void
@@ -192,9 +206,11 @@ SimRuntime::execJob(NodeId node, Job job, TimeNs exec_time)
     if (send_extra == 0) {
         releaseWorker(node, exec_time);
     } else {
-        events_.scheduleAt(exec_time + send_extra, [this, node] {
-            releaseWorker(node, events_.now());
-        });
+        events_.scheduleAt(exec_time + send_extra,
+                           [this, node, inc = cpu.incarnation] {
+                               if (cpus_[node].incarnation == inc)
+                                   releaseWorker(node, events_.now());
+                           });
     }
 }
 
@@ -262,8 +278,25 @@ SimRuntime::crash(NodeId node)
     cpu.alive = false;
     cpu.queue.clear();
     cpu.idleWorkers = 0;
+    nodes_[node] = nullptr; // the handle is typically destroyed next
     network_.setNodeDown(node, true);
     LOG_INFO("node %u crashed at %llu ns", node,
+             static_cast<unsigned long long>(events_.now()));
+}
+
+void
+SimRuntime::restart(NodeId node)
+{
+    hermes_assert(node < cpus_.size());
+    NodeCpu &cpu = cpus_[node];
+    hermes_assert(!cpu.alive);
+    ++cpu.incarnation;        // orphan pre-crash exec/release events
+    envs_[node]->bumpEpoch(); // orphan pre-crash timers
+    cpu.alive = true;
+    cpu.queue.clear();
+    cpu.idleWorkers = cost_.workerThreads;
+    network_.setNodeDown(node, false);
+    LOG_INFO("node %u restarted at %llu ns", node,
              static_cast<unsigned long long>(events_.now()));
 }
 

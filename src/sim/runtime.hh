@@ -83,10 +83,23 @@ class SimRuntime
 
     /**
      * Crash-stop @p node : pending jobs are discarded, future messages to
-     * and from it vanish, timers never fire. There is no un-crash;
-     * recovery is modelled as a fresh shadow replica joining (§3.4).
+     * and from it vanish, timers never fire. Recovery is restart() with a
+     * fresh replica (WAL replay + §3.4 shadow rejoin), or a permanent
+     * view change that excludes the node.
      */
     void crash(NodeId node);
+
+    /**
+     * Revive a crashed node with an empty CPU and a fresh timer epoch:
+     * jobs, timers and worker-release events of the previous incarnation
+     * are permanently orphaned (they check the incarnation counter at
+     * fire time). The caller then attach()es the replacement replica —
+     * crash() detached the old one — and submits its start()/rejoin
+     * choreography as jobs. Network links to the node come back up;
+     * messages that were in flight across the outage were dropped by the
+     * down filter at their delivery time.
+     */
+    void restart(NodeId node);
 
     bool alive(NodeId node) const { return cpus_[node].alive; }
 
@@ -111,6 +124,8 @@ class SimRuntime
         unsigned idleWorkers = 0;
         bool alive = true;
         uint64_t busyNs = 0;
+        /** Bumped by restart(); orphans the prior life's queued events. */
+        uint64_t incarnation = 0;
     };
 
     void startJob(NodeId node, TimeNs at);

@@ -3,8 +3,16 @@
 #include <bit>
 #include <new>
 
+#include "store/wal.hh"
+
 namespace hermes::store
 {
+
+std::unique_lock<std::mutex>
+KvStore::lockRecovery(KeyLockTable &locks, Key key)
+{
+    return locks.lock(key);
+}
 
 namespace
 {

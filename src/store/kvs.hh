@@ -29,6 +29,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string_view>
 #include <type_traits>
 #include <vector>
@@ -42,6 +43,9 @@
 
 namespace hermes::store
 {
+
+class Wal;          // store/wal.hh
+class KeyLockTable; // store/wal.hh
 
 /**
  * Per-key replication metadata stored alongside the value. The KVS does
@@ -147,6 +151,14 @@ class KvStore
     auto
     withKey(Key key, F &&fn)
     {
+        // Recovery-vs-live-write fence: while a WAL replay is in
+        // progress (restart window only) every mutation serializes with
+        // the replay of the same key through the per-key lock table.
+        // Steady state pays one predictable-null pointer check.
+        std::unique_lock<std::mutex> recovery_guard;
+        if (KeyLockTable *locks =
+                recoveryLocks_.load(std::memory_order_acquire))
+            recovery_guard = lockRecovery(*locks, key);
         SpinGuard guard(stripes_[stripeOf(key)]);
         bool existed = true;
         Entry *entry = findEntry(key);
@@ -183,6 +195,25 @@ class KvStore
     /** Inline value capacity. */
     size_t maxValueSize() const { return maxValueSize_; }
 
+    /**
+     * Attach (or detach, with nullptr) the replica's write-ahead log.
+     * Non-owning: the ReplicaHandle owns the Wal and wires its flush to
+     * the Env's poll boundary. Protocol engines consult wal() at their
+     * value-apply sites to persist before acknowledging.
+     */
+    void setWal(Wal *wal) { wal_ = wal; }
+    Wal *wal() const { return wal_; }
+
+    /**
+     * Arm/disarm the per-key recovery lock table (restart replay only;
+     * see KeyLockTable). The store does not own the table.
+     */
+    void
+    setRecoveryLocks(KeyLockTable *locks)
+    {
+        recoveryLocks_.store(locks, std::memory_order_release);
+    }
+
   private:
     struct Entry
     {
@@ -218,6 +249,11 @@ class KvStore
         return bucketOf(key) & (kNumStripes - 1);
     }
 
+    /** Take @p key 's stripe in @p locks (out of line: wal.hh is not a
+     *  header dependency of every KVS user). */
+    static std::unique_lock<std::mutex> lockRecovery(KeyLockTable &locks,
+                                                     Key key);
+
     /** Lock-free chain walk; returns nullptr if absent. */
     Entry *findEntry(Key key) const;
 
@@ -229,6 +265,8 @@ class KvStore
     std::vector<std::atomic<Entry *>> buckets_;
     mutable std::vector<Spinlock> stripes_;
     std::atomic<size_t> size_{0};
+    Wal *wal_ = nullptr;
+    std::atomic<KeyLockTable *> recoveryLocks_{nullptr};
 
     static constexpr size_t kNumStripes = 1024;
 };

@@ -1,0 +1,314 @@
+#include "store/wal.hh"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hermes::store
+{
+
+// ---------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320)
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+struct Crc32Table
+{
+    uint32_t entries[256];
+
+    Crc32Table()
+    {
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+            entries[i] = c;
+        }
+    }
+};
+
+const Crc32Table &
+crcTable()
+{
+    static const Crc32Table table;
+    return table;
+}
+
+} // namespace
+
+uint32_t
+crc32Init()
+{
+    return 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32Update(uint32_t state, const void *data, size_t len)
+{
+    const auto *bytes = static_cast<const uint8_t *>(data);
+    const Crc32Table &table = crcTable();
+    for (size_t i = 0; i < len; ++i)
+        state = table.entries[(state ^ bytes[i]) & 0xFF] ^ (state >> 8);
+    return state;
+}
+
+uint32_t
+crc32Final(uint32_t state)
+{
+    return state ^ 0xFFFFFFFFu;
+}
+
+uint32_t
+crc32(const void *data, size_t len)
+{
+    return crc32Final(crc32Update(crc32Init(), data, len));
+}
+
+const char *
+toString(FsyncPolicy policy)
+{
+    switch (policy) {
+      case FsyncPolicy::Never: return "never";
+      case FsyncPolicy::Group: return "group";
+      case FsyncPolicy::Every: return "every";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------
+// Wal
+// ---------------------------------------------------------------------
+
+Wal::Wal(WalConfig config) : config_(std::move(config))
+{
+    hermes_assert(!config_.path.empty());
+    ScanResult scanned = scan(config_.path);
+    recovered_ = std::move(scanned.records);
+    stats_.recordsRecovered = recovered_.size();
+    stats_.tornBytesDiscarded = scanned.tornBytes;
+
+    fd_ = ::open(config_.path.c_str(), O_CREAT | O_RDWR, 0644);
+    if (fd_ < 0)
+        panic("wal: open(%s) failed: %s", config_.path.c_str(),
+              strerror(errno));
+    if (scanned.tornBytes > 0) {
+        // Drop the torn tail so the next append starts a well-formed
+        // record at the clean prefix instead of gluing onto garbage.
+        if (::ftruncate(fd_, static_cast<off_t>(scanned.cleanBytes)) != 0)
+            panic("wal: ftruncate(%s) failed: %s", config_.path.c_str(),
+                  strerror(errno));
+    }
+    if (::lseek(fd_, 0, SEEK_END) < 0)
+        panic("wal: lseek(%s) failed: %s", config_.path.c_str(),
+              strerror(errno));
+}
+
+Wal::~Wal()
+{
+    if (fd_ >= 0) {
+        // Best-effort final flush: a clean shutdown should not owe the
+        // next incarnation a state transfer for already-queued records.
+        flush();
+        ::close(fd_);
+    }
+}
+
+void
+Wal::setChargeFn(std::function<void(DurationNs)> fn)
+{
+    chargeFn_ = std::move(fn);
+}
+
+void
+Wal::clearRecovered()
+{
+    recovered_.clear();
+    recovered_.shrink_to_fit();
+}
+
+void
+Wal::append(Key key, Timestamp ts, uint8_t flags, const ValueRef &value)
+{
+    hermes_assert(fd_ >= 0);
+
+    uint8_t payload_header[kPayloadHeaderBytes];
+    leStore32(payload_header, config_.shard);
+    leStore64(payload_header + 4, key);
+    leStore32(payload_header + 12, ts.version);
+    leStore32(payload_header + 16, ts.cid);
+    payload_header[20] = flags;
+    leStore32(payload_header + 21, static_cast<uint32_t>(value.size()));
+
+    uint32_t crc = crc32Update(crc32Init(), payload_header,
+                               sizeof(payload_header));
+    crc = crc32Final(crc32Update(crc, value.data(), value.size()));
+
+    size_t base = frame_.staging.size();
+    frame_.staging.resize(base + kFrameHeaderBytes
+                          + sizeof(payload_header));
+    leStore32(frame_.staging.data() + base,
+              static_cast<uint32_t>(kPayloadHeaderBytes + value.size()));
+    leStore32(frame_.staging.data() + base + 4, crc);
+    std::memcpy(frame_.staging.data() + base + kFrameHeaderBytes,
+                payload_header, sizeof(payload_header));
+    if (!value.empty()) {
+        if (value.size() > kZeroCopyThreshold) {
+            // The ValueRef is immutable and refcounted: holding it until
+            // the group-commit writev costs a refcount, not a copy.
+            frame_.segments.push_back({frame_.staging.size(), value});
+        } else {
+            frame_.staging.insert(frame_.staging.end(), value.data(),
+                                  value.data() + value.size());
+        }
+    }
+
+    size_t record_bytes =
+        kFrameHeaderBytes + kPayloadHeaderBytes + value.size();
+    ++stats_.appends;
+    stats_.bytesAppended += record_bytes;
+    if (chargeFn_ && config_.appendPerByteNs > 0)
+        chargeFn_(static_cast<DurationNs>(config_.appendPerByteNs
+                                          * record_bytes));
+
+    if (config_.fsync == FsyncPolicy::Every) {
+        // Strict durability: the record is on disk before the append
+        // even returns to the protocol transition that produced it.
+        writeQueued();
+        fsyncNow();
+    }
+}
+
+void
+Wal::flush()
+{
+    if (frame_.staging.empty() && frame_.segments.empty())
+        return; // nothing new since the last window: no write, no fsync
+    writeQueued();
+    if (config_.fsync == FsyncPolicy::Group)
+        fsyncNow();
+}
+
+void
+Wal::writeQueued()
+{
+    if (frame_.staging.empty() && frame_.segments.empty())
+        return;
+    std::vector<iovec> iov;
+    iov.reserve(frame_.iovecCount());
+    frame_.forEachRun([&iov](const void *data, size_t len) {
+        iov.push_back(iovec{const_cast<void *>(data), len});
+    });
+    // writev caps the vector length (IOV_MAX, commonly 1024); chunk and
+    // re-slice partial writes so every queued byte lands exactly once.
+    constexpr size_t kMaxIovPerCall = 512;
+    size_t idx = 0;
+    while (idx < iov.size()) {
+        size_t count = std::min(iov.size() - idx, kMaxIovPerCall);
+        ssize_t n = ::writev(fd_, iov.data() + idx,
+                             static_cast<int>(count));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            panic("wal: writev(%s) failed: %s", config_.path.c_str(),
+                  strerror(errno));
+        }
+        auto written = static_cast<size_t>(n);
+        while (written > 0 && idx < iov.size()) {
+            if (written >= iov[idx].iov_len) {
+                written -= iov[idx].iov_len;
+                ++idx;
+            } else {
+                iov[idx].iov_base =
+                    static_cast<uint8_t *>(iov[idx].iov_base) + written;
+                iov[idx].iov_len -= written;
+                written = 0;
+            }
+        }
+    }
+    frame_.staging.clear();
+    frame_.segments.clear();
+    ++stats_.flushes;
+}
+
+void
+Wal::fsyncNow()
+{
+    if (::fsync(fd_) != 0)
+        panic("wal: fsync(%s) failed: %s", config_.path.c_str(),
+              strerror(errno));
+    ++stats_.fsyncs;
+    if (chargeFn_ && config_.fsyncNs > 0)
+        chargeFn_(config_.fsyncNs);
+}
+
+Wal::ScanResult
+Wal::scan(const std::string &path)
+{
+    ScanResult out;
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return out; // first boot: no log yet
+    std::vector<uint8_t> buf;
+    {
+        struct stat st{};
+        if (::fstat(fd, &st) == 0 && st.st_size > 0)
+            buf.reserve(static_cast<size_t>(st.st_size));
+    }
+    uint8_t chunk[1 << 16];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // unreadable tail: treat everything after as torn
+        }
+        if (n == 0)
+            break;
+        buf.insert(buf.end(), chunk, chunk + n);
+    }
+    ::close(fd);
+
+    const size_t total = buf.size();
+    size_t off = 0;
+    for (;;) {
+        // Every exit below is the torn-tail exit: the prefix scanned so
+        // far is the log's durable content, the rest is discarded.
+        if (total - off < kFrameHeaderBytes)
+            break; // truncated mid-header
+        uint32_t payload_len = leLoad32(buf.data() + off);
+        uint32_t crc = leLoad32(buf.data() + off + 4);
+        if (payload_len < kPayloadHeaderBytes
+                || payload_len > total - off - kFrameHeaderBytes)
+            break; // truncated mid-payload, or a garbage length field
+        const uint8_t *payload = buf.data() + off + kFrameHeaderBytes;
+        if (crc32(payload, payload_len) != crc)
+            break; // bit rot or a torn multi-sector write
+        uint32_t value_len = leLoad32(payload + 21);
+        if (value_len != payload_len - kPayloadHeaderBytes)
+            break; // internally inconsistent (CRC collision territory)
+        WalRecord rec;
+        rec.shard = leLoad32(payload);
+        rec.key = leLoad64(payload + 4);
+        rec.ts.version = leLoad32(payload + 12);
+        rec.ts.cid = leLoad32(payload + 16);
+        rec.flags = payload[20];
+        rec.value.assign(
+            reinterpret_cast<const char *>(payload) + kPayloadHeaderBytes,
+            value_len);
+        out.records.push_back(std::move(rec));
+        off += kFrameHeaderBytes + payload_len;
+    }
+    out.cleanBytes = off;
+    out.tornBytes = total - off;
+    return out;
+}
+
+} // namespace hermes::store

@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Per-shard write-ahead log with crash-restart recovery.
+ *
+ * Hermes in the paper is in-memory; production isn't. Every value a
+ * replica applies (coordinator issue, follower INV adoption, state-chunk
+ * catch-up — and the analogous apply points of the baselines) is appended
+ * here before the acknowledgement that makes it visible can leave the
+ * node, following the replicate-and-persist-before-replying contract.
+ *
+ * Record format, frozen by the golden-bytes test (explicit little-endian,
+ * same discipline as the wire format in common/serialize.hh):
+ *
+ *     offset  size  field
+ *     0       u32   payload length (= 25 + value length)
+ *     4       u32   CRC32 (IEEE 802.3, reflected) of the payload bytes
+ *     8       u32   shard id                   ─┐
+ *     12      u64   key                         │
+ *     20      u32   timestamp.version           │ payload
+ *     24      u32   timestamp.cid               │
+ *     28      u8    flags (bit 0: RMW)          │
+ *     29      u32   value length                │
+ *     33      ...   value bytes                ─┘
+ *
+ * Appends stage into a scatter/gather WireFrame (values above
+ * kZeroCopyThreshold ride as ValueRef segments — no copy between the KVS
+ * and the disk queue) and group-commit at the same poll-boundary flush
+ * the message batcher uses. The fsync policy spans the classic spectrum:
+ *
+ *  - Never: write() at flush, no fsync — the OS decides when bytes hit
+ *    disk. Survives process crashes, not power loss.
+ *  - Group: one fsync per poll-boundary flush window (default) — every
+ *    record is durable before the reply riding the same flush leaves.
+ *  - Every: write+fsync inside append() itself, before the protocol
+ *    message that announces the write is even staged.
+ *
+ * Recovery: scan() walks the log from the start and stops at the first
+ * record that is truncated, length-corrupt or CRC-failing — the torn
+ * tail a crash mid-write leaves behind is discarded, never replayed and
+ * never fatal. Surviving records replay into the KVS (as Invalid: a
+ * logged write was not necessarily committed, so it must heal through
+ * the protocol's replay/state-transfer path before serving reads).
+ */
+
+#ifndef HERMES_STORE_WAL_HH
+#define HERMES_STORE_WAL_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/random.hh"
+#include "common/serialize.hh"
+#include "common/timestamp.hh"
+#include "common/types.hh"
+#include "common/value_ref.hh"
+
+namespace hermes::store
+{
+
+/** CRC32 (IEEE 802.3, reflected 0xEDB88320) of @p len bytes at @p data. */
+uint32_t crc32(const void *data, size_t len);
+
+/** Incremental CRC32: fold @p len more bytes into a running state.
+ *  Start from crc32Init(), finish with crc32Final(). */
+uint32_t crc32Init();
+uint32_t crc32Update(uint32_t state, const void *data, size_t len);
+uint32_t crc32Final(uint32_t state);
+
+/** When (not whether) appended records reach the platters. */
+enum class FsyncPolicy : uint8_t
+{
+    Never, ///< write at flush, never fsync
+    Group, ///< one fsync per poll-boundary flush window
+    Every, ///< write + fsync inside every append
+};
+
+const char *toString(FsyncPolicy policy);
+
+struct WalConfig
+{
+    /** Log file path. Construction requires a non-empty path. */
+    std::string path;
+    FsyncPolicy fsync = FsyncPolicy::Group;
+    /** Shard id stamped into every record (recovery sanity filter). */
+    uint32_t shard = 0;
+    /**
+     * Cost-model charges, forwarded through the charge hook when one is
+     * set (the sim wires these to Env::chargeCpu; the TCP transport
+     * leaves them unset and pays the real syscalls instead). Zero =
+     * uncharged, so default sim histories stay byte-identical.
+     */
+    double appendPerByteNs = 0.0;
+    DurationNs fsyncNs = 0;
+};
+
+struct WalStats
+{
+    uint64_t appends = 0;
+    uint64_t bytesAppended = 0; ///< wire bytes queued (header + payload)
+    uint64_t flushes = 0;       ///< flush() calls that wrote something
+    uint64_t fsyncs = 0;
+    uint64_t recordsRecovered = 0;
+    uint64_t tornBytesDiscarded = 0;
+};
+
+/** One decoded log record, as recovery replays it. */
+struct WalRecord
+{
+    uint32_t shard = 0;
+    Key key = 0;
+    Timestamp ts{};
+    uint8_t flags = 0;
+    Value value;
+};
+
+/**
+ * Striped per-key mutexes guarding the recovery-replay-vs-live-write
+ * race (the zetascale key-lock pattern): while a restarted replica is
+ * replaying its log, an incoming INV for the same key must not interleave
+ * with the replay's read-compare-apply. The store takes these around
+ * withKey() only while a recovery is in progress (a single pointer check
+ * otherwise), so the steady-state write path pays nothing.
+ */
+class KeyLockTable
+{
+  public:
+    std::unique_lock<std::mutex>
+    lock(Key key)
+    {
+        return std::unique_lock<std::mutex>(
+            stripes_[mix64(key) & (kStripes - 1)]);
+    }
+
+  private:
+    static constexpr size_t kStripes = 256;
+    std::array<std::mutex, kStripes> stripes_;
+};
+
+/**
+ * The per-replica write-ahead log. Single-writer: every call (append,
+ * flush) must come from the replica's event-loop/job context, exactly
+ * like the KVS write path it shadows.
+ */
+class Wal
+{
+  public:
+    /** Fixed payload bytes before the value (shard..valueLen fields). */
+    static constexpr size_t kPayloadHeaderBytes = 25;
+    /** Record framing overhead (length prefix + CRC word). */
+    static constexpr size_t kFrameHeaderBytes = 8;
+
+    /**
+     * Open (creating if absent) the log at config.path, scan it for
+     * surviving records — available via recovered() until
+     * clearRecovered() — and truncate any torn tail so new appends
+     * start from the clean prefix.
+     */
+    explicit Wal(WalConfig config);
+    ~Wal();
+
+    Wal(const Wal &) = delete;
+    Wal &operator=(const Wal &) = delete;
+
+    /** Queue one record; under FsyncPolicy::Every, also write+fsync it. */
+    void append(Key key, Timestamp ts, uint8_t flags, const ValueRef &value);
+
+    /**
+     * Group commit: write every queued record in one gathered writev and
+     * fsync per policy. Wired to the Env's poll-boundary flush hook, so
+     * records persist before the replies staged in the same window leave.
+     */
+    void flush();
+
+    /** Cost-model charge hook (sim: Env::chargeCpu). */
+    void setChargeFn(std::function<void(DurationNs)> fn);
+
+    const WalStats &stats() const { return stats_; }
+    const WalConfig &config() const { return config_; }
+
+    /** Records recovered by the open-time scan, in append order. */
+    const std::vector<WalRecord> &recovered() const { return recovered_; }
+
+    /** Drop the recovered records once replayed (frees their values). */
+    void clearRecovered();
+
+    /** Bytes queued and not yet written (group-commit backlog). */
+    size_t pendingBytes() const { return frame_.size(); }
+
+    struct ScanResult
+    {
+        std::vector<WalRecord> records;
+        size_t cleanBytes = 0; ///< prefix ending at the last good record
+        size_t tornBytes = 0;  ///< discarded tail (0 for a clean log)
+    };
+
+    /**
+     * Decode every intact record of the log at @p path, stopping at the
+     * first truncated, length-corrupt or CRC-failing one. A missing file
+     * scans as empty — a replica's first boot has no log. Never throws,
+     * never crashes on garbage: torn tails are data, not bugs.
+     */
+    static ScanResult scan(const std::string &path);
+
+  private:
+    void writeQueued();
+    void fsyncNow();
+
+    WalConfig config_;
+    int fd_ = -1;
+    WireFrame frame_; ///< group-commit queue (staging + value segments)
+    std::function<void(DurationNs)> chargeFn_;
+    std::vector<WalRecord> recovered_;
+    WalStats stats_;
+};
+
+} // namespace hermes::store
+
+#endif // HERMES_STORE_WAL_HH

@@ -1,0 +1,432 @@
+/**
+ * @file
+ * WAL unit suite: golden bytes freezing the record format, torn-tail
+ * recovery (truncation at every byte offset, bit-flipped CRCs — discard
+ * the tail, never crash, never replay garbage), fsync-policy accounting,
+ * reopen-and-append cycles, and the per-key recovery lock table.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "store/wal.hh"
+#include "support/temp_dir.hh"
+
+namespace hermes::store
+{
+namespace
+{
+
+using test::TempDir;
+
+std::vector<unsigned char>
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                      std::istreambuf_iterator<char>());
+}
+
+void
+writeBytes(const std::string &path, const std::vector<unsigned char> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** Little-endian byte composition, independent of the implementation. */
+void
+putLe32(std::vector<unsigned char> &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+void
+putLe64(std::vector<unsigned char> &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<unsigned char>(v >> (8 * i)));
+}
+
+/** The frozen on-disk encoding of one record, built by hand. */
+std::vector<unsigned char>
+encodeRecord(uint32_t shard, Key key, Timestamp ts, uint8_t flags,
+             std::string_view value)
+{
+    std::vector<unsigned char> payload;
+    putLe32(payload, shard);
+    putLe64(payload, key);
+    putLe32(payload, ts.version);
+    putLe32(payload, ts.cid);
+    payload.push_back(flags);
+    putLe32(payload, static_cast<uint32_t>(value.size()));
+    payload.insert(payload.end(), value.begin(), value.end());
+
+    std::vector<unsigned char> out;
+    putLe32(out, static_cast<uint32_t>(payload.size()));
+    putLe32(out, crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Format freeze
+// ---------------------------------------------------------------------
+
+TEST(WalFormat, Crc32MatchesKnownVectors)
+{
+    // The IEEE 802.3 check value: CRC32("123456789") — freezes the
+    // polynomial, reflection, init and final-xor all at once.
+    EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+    EXPECT_EQ(crc32("", 0), 0x00000000u);
+    // Incremental folding agrees with the one-shot form at every split.
+    const char data[] = "hermes-wal-record";
+    uint32_t whole = crc32(data, sizeof(data) - 1);
+    for (size_t split = 0; split <= sizeof(data) - 1; ++split) {
+        uint32_t state = crc32Init();
+        state = crc32Update(state, data, split);
+        state = crc32Update(state, data + split, sizeof(data) - 1 - split);
+        EXPECT_EQ(crc32Final(state), whole) << "split " << split;
+    }
+}
+
+TEST(WalFormat, GoldenBytesFreezeRecordLayout)
+{
+    // Every field at a distinctive value; any layout, width or
+    // endianness change must fail here before it silently orphans
+    // deployed logs. The expected bytes are composed by hand above (the
+    // CRC word via crc32(), itself frozen by the known-vector test).
+    TempDir dir("wal-golden");
+    const std::string path = dir.file("golden.wal");
+    {
+        WalConfig config;
+        config.path = path;
+        config.fsync = FsyncPolicy::Every;
+        config.shard = 2;
+        Wal wal(config);
+        wal.append(0x1122334455667788ull, Timestamp{7, 3}, 0x01,
+                   ValueRef("hello"));
+    }
+    std::vector<unsigned char> expect =
+        encodeRecord(2, 0x1122334455667788ull, Timestamp{7, 3}, 0x01,
+                     "hello");
+    // Spot-check the literal layout too, so the helper can't drift in
+    // lockstep with the implementation: 30-byte payload, then the
+    // key bytes little-endian at payload offset 4.
+    ASSERT_EQ(expect.size(), Wal::kFrameHeaderBytes
+                                 + Wal::kPayloadHeaderBytes + 5);
+    EXPECT_EQ(expect[0], 30u); // payloadLen LSB = 25 + strlen("hello")
+    EXPECT_EQ(expect[8], 2u);  // shard LSB right after the CRC word
+    EXPECT_EQ(expect[12], 0x88u); // key LSB, little-endian
+    EXPECT_EQ(expect[19], 0x11u); // key MSB
+    EXPECT_EQ(fileBytes(path), expect);
+}
+
+TEST(WalFormat, ScanRoundTripsAllFields)
+{
+    TempDir dir("wal-roundtrip");
+    const std::string path = dir.file("log.wal");
+    // One value small enough to inline in the staging buffer, one large
+    // enough to ride as a zero-copy segment: both disciplines must land
+    // identical record framing.
+    std::string big(300, 'x');
+    big[0] = 'B';
+    {
+        WalConfig config;
+        config.path = path;
+        config.fsync = FsyncPolicy::Never;
+        config.shard = 7;
+        Wal wal(config);
+        wal.append(11, Timestamp{5, 1}, 0, ValueRef("small"));
+        wal.append(22, Timestamp{9, 2}, 0x01, ValueRef(big));
+        wal.flush();
+    }
+    Wal::ScanResult result = Wal::scan(path);
+    ASSERT_EQ(result.records.size(), 2u);
+    EXPECT_EQ(result.tornBytes, 0u);
+    EXPECT_EQ(result.records[0].shard, 7u);
+    EXPECT_EQ(result.records[0].key, 11u);
+    EXPECT_EQ(result.records[0].ts, (Timestamp{5, 1}));
+    EXPECT_EQ(result.records[0].flags, 0u);
+    EXPECT_EQ(result.records[0].value, "small");
+    EXPECT_EQ(result.records[1].key, 22u);
+    EXPECT_EQ(result.records[1].ts, (Timestamp{9, 2}));
+    EXPECT_EQ(result.records[1].flags, 0x01u);
+    EXPECT_EQ(result.records[1].value, big);
+}
+
+// ---------------------------------------------------------------------
+// Torn tails and corruption
+// ---------------------------------------------------------------------
+
+class WalTornTail : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        path_ = dir_.file("torn.wal");
+        WalConfig config;
+        config.path = path_;
+        config.fsync = FsyncPolicy::Every;
+        Wal wal(config);
+        wal.append(1, Timestamp{1, 0}, 0, ValueRef("first"));
+        wal.append(2, Timestamp{2, 0}, 0, ValueRef("second"));
+        wal.append(3, Timestamp{3, 0}, 0, ValueRef("final-record"));
+        clean_ = fileBytes(path_);
+        prefix2_ = 2 * (Wal::kFrameHeaderBytes + Wal::kPayloadHeaderBytes)
+                   + strlen("first") + strlen("second");
+        ASSERT_EQ(clean_.size(), prefix2_ + Wal::kFrameHeaderBytes
+                                     + Wal::kPayloadHeaderBytes
+                                     + strlen("final-record"));
+    }
+
+    TempDir dir_{"wal-torn"};
+    std::string path_;
+    std::vector<unsigned char> clean_;
+    size_t prefix2_ = 0; ///< bytes up to the end of the second record
+};
+
+TEST_F(WalTornTail, TruncationAtEveryByteOffsetOfFinalRecord)
+{
+    // A crash can land mid-write at any byte: for every cut inside the
+    // final record the first two records survive and the partial tail is
+    // discarded — never a crash, never a garbage replay.
+    for (size_t cut = prefix2_; cut < clean_.size(); ++cut) {
+        std::vector<unsigned char> torn(clean_.begin(),
+                                        clean_.begin() + cut);
+        writeBytes(path_, torn);
+        Wal::ScanResult result = Wal::scan(path_);
+        ASSERT_EQ(result.records.size(), 2u) << "cut at " << cut;
+        EXPECT_EQ(result.records[1].value, "second") << "cut at " << cut;
+        EXPECT_EQ(result.cleanBytes, prefix2_) << "cut at " << cut;
+        EXPECT_EQ(result.tornBytes, cut - prefix2_) << "cut at " << cut;
+    }
+    // And the untouched log still scans whole.
+    writeBytes(path_, clean_);
+    EXPECT_EQ(Wal::scan(path_).records.size(), 3u);
+}
+
+TEST_F(WalTornTail, BitFlippedCrcDiscardsTail)
+{
+    // Flip one bit in the final record's CRC word.
+    std::vector<unsigned char> corrupt = clean_;
+    corrupt[prefix2_ + 4] ^= 0x01;
+    writeBytes(path_, corrupt);
+    Wal::ScanResult result = Wal::scan(path_);
+    ASSERT_EQ(result.records.size(), 2u);
+    EXPECT_EQ(result.tornBytes, clean_.size() - prefix2_);
+}
+
+TEST_F(WalTornTail, BitFlippedValueByteDiscardsTail)
+{
+    // Payload corruption is caught by the CRC, not by luck.
+    std::vector<unsigned char> corrupt = clean_;
+    corrupt[clean_.size() - 1] ^= 0x80;
+    writeBytes(path_, corrupt);
+    EXPECT_EQ(Wal::scan(path_).records.size(), 2u);
+}
+
+TEST_F(WalTornTail, CorruptFirstRecordRecoversNothing)
+{
+    // The scan stops at the first bad record: everything after it is
+    // unreachable (its framing can't be trusted), so corruption at the
+    // head forfeits the whole log — by design, loudly countable.
+    std::vector<unsigned char> corrupt = clean_;
+    corrupt[Wal::kFrameHeaderBytes] ^= 0xFF; // first record's shard byte
+    writeBytes(path_, corrupt);
+    Wal::ScanResult result = Wal::scan(path_);
+    EXPECT_EQ(result.records.size(), 0u);
+    EXPECT_EQ(result.cleanBytes, 0u);
+    EXPECT_EQ(result.tornBytes, clean_.size());
+}
+
+TEST_F(WalTornTail, AbsurdLengthPrefixDiscardsTail)
+{
+    // A length prefix pointing past EOF (or below the fixed header) is
+    // framing corruption, handled exactly like a short read.
+    std::vector<unsigned char> corrupt = clean_;
+    corrupt[prefix2_ + 3] = 0x7F; // final record's length, high byte
+    writeBytes(path_, corrupt);
+    EXPECT_EQ(Wal::scan(path_).records.size(), 2u);
+    corrupt = clean_;
+    corrupt[prefix2_] = 3; // < kPayloadHeaderBytes
+    corrupt[prefix2_ + 1] = 0;
+    corrupt[prefix2_ + 2] = 0;
+    corrupt[prefix2_ + 3] = 0;
+    writeBytes(path_, corrupt);
+    EXPECT_EQ(Wal::scan(path_).records.size(), 2u);
+}
+
+TEST_F(WalTornTail, OpeningTornLogTruncatesAndAppendsCleanly)
+{
+    // The constructor discards the torn tail on disk too, so the next
+    // append starts at the clean prefix instead of burying a new record
+    // behind garbage.
+    std::vector<unsigned char> torn(clean_.begin(),
+                                    clean_.begin() + prefix2_ + 5);
+    writeBytes(path_, torn);
+    {
+        WalConfig config;
+        config.path = path_;
+        config.fsync = FsyncPolicy::Every;
+        Wal wal(config);
+        EXPECT_EQ(wal.recovered().size(), 2u);
+        EXPECT_EQ(wal.stats().recordsRecovered, 2u);
+        EXPECT_EQ(wal.stats().tornBytesDiscarded, 5u);
+        wal.clearRecovered();
+        wal.append(4, Timestamp{4, 0}, 0, ValueRef("after-recovery"));
+    }
+    Wal::ScanResult result = Wal::scan(path_);
+    ASSERT_EQ(result.records.size(), 3u);
+    EXPECT_EQ(result.records[2].value, "after-recovery");
+    EXPECT_EQ(result.tornBytes, 0u);
+}
+
+TEST(WalScan, MissingFileScansEmpty)
+{
+    TempDir dir("wal-missing");
+    Wal::ScanResult result = Wal::scan(dir.file("never-created.wal"));
+    EXPECT_TRUE(result.records.empty());
+    EXPECT_EQ(result.cleanBytes, 0u);
+    EXPECT_EQ(result.tornBytes, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Fsync policies and group commit
+// ---------------------------------------------------------------------
+
+TEST(WalPolicy, GroupCommitQueuesUntilFlush)
+{
+    TempDir dir("wal-group");
+    const std::string path = dir.file("group.wal");
+    WalConfig config;
+    config.path = path;
+    config.fsync = FsyncPolicy::Group;
+    Wal wal(config);
+    wal.append(1, Timestamp{1, 0}, 0, ValueRef("a"));
+    wal.append(2, Timestamp{2, 0}, 0, ValueRef("b"));
+    EXPECT_GT(wal.pendingBytes(), 0u);
+    EXPECT_TRUE(fileBytes(path).empty()); // nothing written yet
+    wal.flush();
+    EXPECT_EQ(wal.pendingBytes(), 0u);
+    EXPECT_EQ(Wal::scan(path).records.size(), 2u);
+    EXPECT_EQ(wal.stats().flushes, 1u);
+    EXPECT_EQ(wal.stats().fsyncs, 1u); // the whole window, one fsync
+    wal.flush();                       // empty flush: no write, no fsync
+    EXPECT_EQ(wal.stats().flushes, 1u);
+    EXPECT_EQ(wal.stats().fsyncs, 1u);
+}
+
+TEST(WalPolicy, EverySyncsInsideAppend)
+{
+    TempDir dir("wal-every");
+    WalConfig config;
+    config.path = dir.file("every.wal");
+    config.fsync = FsyncPolicy::Every;
+    Wal wal(config);
+    wal.append(1, Timestamp{1, 0}, 0, ValueRef("a"));
+    EXPECT_EQ(wal.pendingBytes(), 0u); // written eagerly, nothing queued
+    EXPECT_EQ(wal.stats().fsyncs, 1u);
+    wal.append(2, Timestamp{2, 0}, 0, ValueRef("b"));
+    EXPECT_EQ(wal.stats().fsyncs, 2u);
+    EXPECT_EQ(Wal::scan(config.path).records.size(), 2u);
+}
+
+TEST(WalPolicy, NeverWritesButSkipsFsync)
+{
+    TempDir dir("wal-never");
+    WalConfig config;
+    config.path = dir.file("never.wal");
+    config.fsync = FsyncPolicy::Never;
+    Wal wal(config);
+    wal.append(1, Timestamp{1, 0}, 0, ValueRef("a"));
+    wal.flush();
+    EXPECT_EQ(wal.stats().flushes, 1u);
+    EXPECT_EQ(wal.stats().fsyncs, 0u);
+    EXPECT_EQ(Wal::scan(config.path).records.size(), 1u);
+}
+
+TEST(WalPolicy, ChargeHookSeesAppendAndFsyncCosts)
+{
+    // The sim's ablation discipline: costs flow only through the hook,
+    // and only when the config prices them.
+    TempDir dir("wal-charge");
+    WalConfig config;
+    config.path = dir.file("charge.wal");
+    config.fsync = FsyncPolicy::Group;
+    config.appendPerByteNs = 2.0;
+    config.fsyncNs = 1000;
+    Wal wal(config);
+    DurationNs charged = 0;
+    wal.setChargeFn([&charged](DurationNs ns) { charged += ns; });
+    wal.append(1, Timestamp{1, 0}, 0, ValueRef("abcd"));
+    size_t record_bytes =
+        Wal::kFrameHeaderBytes + Wal::kPayloadHeaderBytes + 4;
+    EXPECT_EQ(charged, static_cast<DurationNs>(2.0 * record_bytes));
+    wal.flush();
+    EXPECT_EQ(charged,
+              static_cast<DurationNs>(2.0 * record_bytes) + 1000);
+}
+
+TEST(WalPolicy, DestructorFlushesQueuedRecords)
+{
+    TempDir dir("wal-dtor");
+    const std::string path = dir.file("dtor.wal");
+    {
+        WalConfig config;
+        config.path = path;
+        config.fsync = FsyncPolicy::Group;
+        Wal wal(config);
+        wal.append(1, Timestamp{1, 0}, 0, ValueRef("queued"));
+        // No explicit flush: an orderly shutdown must not drop records.
+    }
+    EXPECT_EQ(Wal::scan(path).records.size(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Recovery lock table
+// ---------------------------------------------------------------------
+
+TEST(KeyLockTableTest, SameKeySerializesAcrossThreads)
+{
+    KeyLockTable locks;
+    int counter = 0;
+    const int kIters = 20000;
+    auto bump = [&] {
+        for (int i = 0; i < kIters; ++i) {
+            auto guard = locks.lock(42);
+            ++counter; // unsynchronized but for the lock: TSan would bark
+        }
+    };
+    std::thread a(bump), b(bump);
+    a.join();
+    b.join();
+    EXPECT_EQ(counter, 2 * kIters);
+}
+
+TEST(KeyLockTableTest, DistinctStripesDoNotBlockEachOther)
+{
+    KeyLockTable locks;
+    // Find two keys on different stripes (overwhelmingly the first try).
+    auto first = locks.lock(1);
+    for (Key key = 2; key < 300; ++key) {
+        auto second = std::unique_lock<std::mutex>();
+        auto probe = locks.lock(key);
+        if (probe.mutex() != first.mutex()) {
+            SUCCEED();
+            return;
+        }
+    }
+    FAIL() << "300 keys all hashed to one stripe";
+}
+
+} // namespace
+} // namespace hermes::store

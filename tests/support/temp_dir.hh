@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TempDir: RAII scratch directory for tests that exercise real files
+ * (WAL recovery, crash-restart). Created under TMPDIR (or /tmp) with a
+ * unique name, recursively removed on destruction.
+ */
+
+#ifndef HERMES_TESTS_SUPPORT_TEMP_DIR_HH
+#define HERMES_TESTS_SUPPORT_TEMP_DIR_HH
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace hermes::test
+{
+
+class TempDir
+{
+  public:
+    explicit TempDir(const std::string &tag = "hermes-test")
+    {
+        const char *base = std::getenv("TMPDIR");
+        std::string tmpl = std::string(base && *base ? base : "/tmp") + "/"
+                           + tag + ".XXXXXX";
+        // mkdtemp mutates its argument in place.
+        std::string buf = tmpl;
+        if (!mkdtemp(buf.data()))
+            panic("mkdtemp(%s) failed", tmpl.c_str());
+        path_ = buf;
+    }
+
+    ~TempDir()
+    {
+        std::error_code ec; // best-effort cleanup; never throw in a dtor
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    TempDir(const TempDir &) = delete;
+    TempDir &operator=(const TempDir &) = delete;
+
+    const std::string &path() const { return path_; }
+
+    /** A file path inside the directory. */
+    std::string
+    file(const std::string &name) const
+    {
+        return path_ + "/" + name;
+    }
+
+  private:
+    std::string path_;
+};
+
+} // namespace hermes::test
+
+#endif // HERMES_TESTS_SUPPORT_TEMP_DIR_HH
