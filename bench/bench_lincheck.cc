@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Linearizability-checker scaling bench: how far the Wing&Gong DFS
+ * stretches, where the just-in-time (Lowe-style) engine takes over, and
+ * what the fault-schedule explorer's end-to-end throughput looks like.
+ *
+ * Three sections:
+ *
+ *  a) JIT vs DFS sweep — generated valid histories (5-way instantaneous
+ *     concurrency) from 1k to 1,000,000 ops; both engines run while the
+ *     DFS stays under a wall-clock cut-off, the JIT runs everywhere.
+ *  b) Violation latency — a stale read planted at the end of a large
+ *     sequential history; time for the JIT to refute it.
+ *  c) Explorer throughput — a fixed-seed budget of generated fault
+ *     schedules through runSchedule (full cluster sim + fault injection
+ *     + full-history check per schedule); reports schedules/sec, the
+ *     number the nightly job's budget is provisioned from.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+#include "app/lin_checker.hh"
+#include "sim/explorer.hh"
+#include "support/history_gen.hh"
+
+namespace hermes
+{
+namespace
+{
+
+double
+secondsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+void
+sweepJitVsDfs()
+{
+    std::printf("section,ops,engine,verdict,seconds,ops_per_sec\n");
+    const size_t kDfsCutoffOps = 200000; // DFS slows past this; skip
+    for (size_t n : {1000ul, 10000ul, 100000ul, 1000000ul}) {
+        auto ops = test::genLinearizableHistory(42, n, 5000);
+        for (bool jit : {false, true}) {
+            if (!jit && n > kDfsCutoffOps) {
+                std::printf("sweep,%zu,dfs,skipped,,\n", n);
+                continue;
+            }
+            // ~5-way concurrency visits a handful of states per event;
+            // scale the budget with history size so the million-op
+            // point completes instead of going Inconclusive.
+            size_t budget = std::max<size_t>(1u << 22, 128 * n);
+            auto start = std::chrono::steady_clock::now();
+            app::LinResult r = jit ? app::checkKeyHistoryJit(ops, {}, budget)
+                                   : app::checkKeyHistory(ops, {}, budget);
+            double s = secondsSince(start);
+            std::printf("sweep,%zu,%s,%s,%.3f,%.0f\n", n,
+                        jit ? "jit" : "dfs",
+                        r == app::LinResult::Ok ? "ok" : "other", s,
+                        static_cast<double>(n) / s);
+        }
+    }
+}
+
+void
+violationLatency()
+{
+    auto ops = test::genLinearizableHistory(7, 1000000, 0);
+    test::corruptStaleRead(ops);
+    auto start = std::chrono::steady_clock::now();
+    app::LinResult r = app::checkKeyHistoryJit(ops);
+    double s = secondsSince(start);
+    std::printf("violation,%zu,jit,%s,%.3f,\n", ops.size(),
+                r == app::LinResult::Violation ? "violation" : "MISSED",
+                s);
+}
+
+void
+explorerThroughput()
+{
+    sim::ExplorerConfig cfg;
+    const int kSchedules = 12;
+    auto start = std::chrono::steady_clock::now();
+    uint64_t ops = 0;
+    for (int i = 0; i < kSchedules; ++i) {
+        sim::Schedule s = sim::generateSchedule(1000 + i);
+        ops += sim::runSchedule(s, cfg).opsTotal;
+    }
+    double s = secondsSince(start);
+    std::printf("explorer,%d,sim,ok,%.3f,%.2f\n", kSchedules, s,
+                kSchedules / s);
+    std::printf("# explorer: %d schedules, %llu total ops, "
+                "%.2f schedules/sec\n",
+                kSchedules, static_cast<unsigned long long>(ops),
+                kSchedules / s);
+}
+
+} // namespace
+} // namespace hermes
+
+int
+main()
+{
+    hermes::sweepJitVsDfs();
+    hermes::violationLatency();
+    hermes::explorerThroughput();
+    return 0;
+}

@@ -189,6 +189,17 @@ SimCluster::write(NodeId node, Key key, ValueRef value,
                   ReplicaHandle::WriteCallback cb)
 {
     hermes_assert(shardMap_.shardOfNode(node) == shardMap_.shardOf(key));
+    if (config_.buggyAckBeforeCommitAtEpoch > 0) {
+        // Explorer self-test shim: past the armed epoch the client sees
+        // the write complete now, while commit (INV/ACK/VAL) is still in
+        // flight — a read elsewhere can then observe the pre-write value
+        // after this response, which no linearization can explain.
+        proto::HermesReplica *h = replicas_[node]->hermes();
+        if (h && h->view().epoch >= config_.buggyAckBeforeCommitAtEpoch) {
+            cb();
+            cb = [] {};
+        }
+    }
     const sim::CostModel &cost = config_.cost;
     runtime_->submit(node, cost.clientOpNs + cost.kvsOpNs,
                      [this, node, key, value = std::move(value),

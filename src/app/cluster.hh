@@ -115,6 +115,16 @@ struct ClusterConfig
     std::string walDir;
     /** fsync policy for the per-node WALs (walDir non-empty only). */
     store::FsyncPolicy walFsync = store::FsyncPolicy::Group;
+    /**
+     * TEST-ONLY fault shim: when non-zero, a Hermes write submitted to a
+     * replica whose view epoch has reached this value is acknowledged to
+     * the client *before* the protocol commits it (the write itself
+     * still runs). This plants a latent ack-before-commit bug that only
+     * manifests after a reconfiguration — the self-test target the
+     * fault-schedule explorer must find and shrink. Never set outside
+     * the explorer self-test.
+     */
+    Epoch buggyAckBeforeCommitAtEpoch = 0;
 };
 
 /**

@@ -1,6 +1,7 @@
 #include "app/lin_checker.hh"
 
 #include <algorithm>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.hh"
@@ -236,6 +237,246 @@ class KeySearch
     uint64_t setHash_ = 0;
 };
 
+/**
+ * Just-in-time linearization (Lowe-style) over one key's sub-history.
+ *
+ * A single time-ordered sweep over invocation/response events carries a
+ * *frontier*: the set of abstract states the register could be in, where
+ * a state is (which in-flight ops have already linearized, value). Ops
+ * linearize as late as possible — nothing happens at invocations; an
+ * op's response event *forces* it, so the sweep closes the frontier
+ * under linearizing in-flight ops and keeps exactly the states where
+ * the responding op has taken effect. Any valid linearization can be
+ * normalized to linearize every op at the next response event at or
+ * after its linearization point (the shift crosses no response, and
+ * never crosses the invocation of a real-time-later op), so the sweep
+ * is equivalent to the full Wing & Gong search while its cost tracks
+ * instantaneous concurrency instead of history length.
+ *
+ * Values are interned to dense ids once (all semantics are equality
+ * checks), and states are deduplicated by a 64-bit hash — the same
+ * collision tolerance the DFS memo accepts.
+ */
+class JitKeySearch
+{
+  public:
+    JitKeySearch(const std::vector<HistOp> &ops, const Value &initial,
+                 size_t state_budget)
+        : budget_(state_budget)
+    {
+        std::unordered_map<Value, uint32_t> interned;
+        auto intern = [&interned](const Value &v) {
+            return interned.emplace(v, static_cast<uint32_t>(interned.size()))
+                .first->second;
+        };
+        initId_ = intern(initial);
+
+        jops_.reserve(ops.size());
+        events_.reserve(ops.size() * 2);
+        for (const HistOp &op : ops) {
+            JOp jop;
+            jop.kind = op.kind;
+            jop.pending = op.isPending();
+            jop.casApplied = op.casApplied;
+            jop.arg = intern(op.arg);
+            jop.expected = intern(op.expected);
+            jop.result = intern(op.result);
+            uint32_t idx = static_cast<uint32_t>(jops_.size());
+            events_.push_back({op.invoke, false, idx});
+            if (!jop.pending) {
+                events_.push_back({op.response, true, idx});
+                ++required_;
+            }
+            jops_.push_back(jop);
+        }
+        // Invocations sort before responses at equal times, so an op
+        // invoked exactly when another responds still counts as
+        // concurrent with it — matching the DFS candidate rule
+        // (invoke <= minResponse).
+        std::sort(events_.begin(), events_.end(),
+                  [](const Event &a, const Event &b) {
+                      if (a.t != b.t)
+                          return a.t < b.t;
+                      if (a.response != b.response)
+                          return !a.response;
+                      return a.op < b.op;
+                  });
+
+        // Peak window size fixes the per-state mask width. Pending ops
+        // never leave the window.
+        size_t window = 0, peak = 0;
+        for (const Event &ev : events_) {
+            window += ev.response ? -1 : 1;
+            peak = std::max(peak, window);
+        }
+        words_ = peak ? (peak + 63) / 64 : 1;
+        slotOf_.assign(jops_.size(), 0);
+        opAt_.assign(peak, 0);
+    }
+
+    LinResult
+    run()
+    {
+        if (required_ == 0)
+            return LinResult::Ok;
+
+        std::vector<State> frontier, survivors, work;
+        std::unordered_set<uint64_t> seen;
+        frontier.push_back({Mask(words_, 0), initId_});
+
+        for (const Event &ev : events_) {
+            if (!ev.response) {
+                uint32_t slot;
+                if (freeSlots_.empty()) {
+                    slot = nextSlot_++;
+                } else {
+                    slot = freeSlots_.back();
+                    freeSlots_.pop_back();
+                }
+                slotOf_[ev.op] = slot;
+                opAt_[slot] = ev.op;
+                active_.push_back(slot);
+                continue;
+            }
+
+            // Close the frontier under linearizing in-flight ops; keep
+            // the states where the responding op has linearized, with
+            // its (now recycled) slot bit cleared.
+            uint32_t slot = slotOf_[ev.op];
+            seen.clear();
+            survivors.clear();
+            work.clear();
+            for (State &st : frontier) {
+                seen.insert(stateHash(st));
+                work.push_back(std::move(st));
+            }
+            while (!work.empty()) {
+                State st = std::move(work.back());
+                work.pop_back();
+                if (st.mask[slot / 64] & (1ull << (slot % 64))) {
+                    st.mask[slot / 64] &= ~(1ull << (slot % 64));
+                    survivors.push_back(std::move(st));
+                    continue;
+                }
+                for (uint32_t t : active_) {
+                    if (st.mask[t / 64] & (1ull << (t % 64)))
+                        continue;
+                    const JOp &cand = jops_[opAt_[t]];
+                    uint32_t next = 0;
+                    if (!applyId(cand, st.val, next))
+                        continue;
+                    // A pending op whose effect is a no-op here (e.g. a
+                    // never-responded read) can always be linearized
+                    // later instead — skipping it loses no states.
+                    if (cand.pending && next == st.val)
+                        continue;
+                    State ns{st.mask, next};
+                    ns.mask[t / 64] |= 1ull << (t % 64);
+                    if (!seen.insert(stateHash(ns)).second)
+                        continue;
+                    if (++created_ > budget_)
+                        return LinResult::Inconclusive;
+                    work.push_back(std::move(ns));
+                }
+            }
+            if (survivors.empty())
+                return LinResult::Violation;
+            freeSlots_.push_back(slot);
+            active_.erase(std::find(active_.begin(), active_.end(), slot));
+            frontier.swap(survivors);
+        }
+        return LinResult::Ok;
+    }
+
+  private:
+    using Mask = std::vector<uint64_t>;
+
+    struct JOp
+    {
+        HistOp::Kind kind;
+        bool pending;
+        bool casApplied;
+        uint32_t arg, expected, result; ///< interned value ids
+    };
+
+    struct Event
+    {
+        TimeNs t;
+        bool response;
+        uint32_t op;
+    };
+
+    struct State
+    {
+        Mask mask; ///< bit per window slot: op already linearized
+        uint32_t val;
+    };
+
+    /** Same transition semantics as the DFS apply(), on interned ids. */
+    bool
+    applyId(const JOp &op, uint32_t cur, uint32_t &next) const
+    {
+        if (op.pending) {
+            switch (op.kind) {
+              case HistOp::Kind::Read:
+                next = cur;
+                break;
+              case HistOp::Kind::Write:
+                next = op.arg;
+                break;
+              case HistOp::Kind::Cas:
+                next = cur == op.expected ? op.arg : cur;
+                break;
+            }
+            return true;
+        }
+        switch (op.kind) {
+          case HistOp::Kind::Read:
+            if (op.result != cur)
+                return false;
+            next = cur;
+            return true;
+          case HistOp::Kind::Write:
+            next = op.arg;
+            return true;
+          case HistOp::Kind::Cas:
+            if (op.casApplied) {
+                if (cur != op.expected)
+                    return false;
+                next = op.arg;
+            } else {
+                if (op.result != cur || cur == op.expected)
+                    return false;
+                next = cur;
+            }
+            return true;
+        }
+        return false;
+    }
+
+    uint64_t
+    stateHash(const State &st) const
+    {
+        uint64_t h = 0xcbf29ce484222325ull ^ mix64(st.val + 1);
+        for (uint64_t w : st.mask)
+            h = mix64(h ^ w);
+        return h;
+    }
+
+    size_t budget_;
+    size_t required_ = 0;
+    size_t created_ = 0;
+    size_t words_;
+    uint32_t initId_ = 0;
+    std::vector<JOp> jops_;
+    std::vector<Event> events_;
+    std::vector<uint32_t> slotOf_;   ///< op index -> window slot
+    std::vector<uint32_t> opAt_;     ///< window slot -> op index
+    std::vector<uint32_t> active_;   ///< slots currently in the window
+    std::vector<uint32_t> freeSlots_;
+    uint32_t nextSlot_ = 0;
+};
+
 } // namespace
 
 LinResult
@@ -246,12 +487,22 @@ checkKeyHistory(const std::vector<HistOp> &ops, const Value &initial,
     return search.run();
 }
 
+LinResult
+checkKeyHistoryJit(const std::vector<HistOp> &ops, const Value &initial,
+                   size_t state_budget)
+{
+    JitKeySearch search(ops, initial, state_budget);
+    return search.run();
+}
+
 LinReport
-checkHistory(const History &history, size_t state_budget)
+checkHistory(const History &history, size_t state_budget, LinMode mode)
 {
     LinReport report;
     for (auto &[key, ops] : history.byKey()) {
-        LinResult result = checkKeyHistory(ops, {}, state_budget);
+        LinResult result = mode == LinMode::Jit
+                               ? checkKeyHistoryJit(ops, {}, state_budget)
+                               : checkKeyHistory(ops, {}, state_budget);
         if (result == LinResult::Ok)
             continue;
         report.result = result;
@@ -268,14 +519,14 @@ checkHistory(const History &history, size_t state_budget)
 }
 
 LinReport
-checkShardedHistory(const History &history, size_t state_budget)
+checkShardedHistory(const History &history, size_t state_budget, LinMode mode)
 {
     LinReport report;
     for (auto &[shard, ops] : history.byShard()) {
         History sub;
         for (const HistOp &op : ops)
             sub.add(op);
-        LinReport shard_report = checkHistory(sub, state_budget);
+        LinReport shard_report = checkHistory(sub, state_budget, mode);
         if (shard_report.ok())
             continue;
         shard_report.detail = "shard " + std::to_string(shard) + ": "

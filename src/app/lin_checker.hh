@@ -1,15 +1,28 @@
 /**
  * @file
- * A Wing & Gong linearizability checker for single-key registers with
- * reads, writes and CAS — the executable counterpart of the paper's TLA+
- * model checking, run by the property-based protocol tests against
- * histories recorded under fault injection.
+ * Linearizability checkers for single-key registers with reads, writes
+ * and CAS — the executable counterpart of the paper's TLA+ model
+ * checking, run by the property-based protocol tests against histories
+ * recorded under fault injection.
  *
- * Linearizability is compositional, so the checker validates each key's
- * sub-history independently (which also keeps the search tractable). The
- * search linearizes one "minimal" pending operation at a time — an op no
- * other unlinearized op precedes in real time — backtracking on result
- * mismatches, with memoization on (linearized-set, register value).
+ * Linearizability is compositional, so both checkers validate each key's
+ * sub-history independently (which also keeps the search tractable).
+ * Two engines share the LinResult API:
+ *
+ *  - DFS (Wing & Gong): linearizes one "minimal" pending operation at a
+ *    time — an op no other unlinearized op precedes in real time —
+ *    backtracking on result mismatches, with memoization on
+ *    (linearized-set, register value). Exponential on heavily
+ *    concurrent keys; the cross-check oracle for small histories.
+ *
+ *  - JIT (Lowe-style just-in-time linearization): sweeps the history
+ *    once in event order, carrying the *set* of reachable abstract
+ *    states (which concurrent ops have linearized × register value).
+ *    Operations linearize as late as possible — only when an op's
+ *    response event forces it — so the frontier stays proportional to
+ *    the instantaneous per-key concurrency instead of the history
+ *    length. Million-op adversarial histories check in seconds; the
+ *    fault-schedule explorer depends on it.
  */
 
 #ifndef HERMES_APP_LIN_CHECKER_HH
@@ -40,8 +53,16 @@ struct LinReport
     bool ok() const { return result == LinResult::Ok; }
 };
 
+/** Which search engine checks each per-key sub-history. */
+enum class LinMode
+{
+    Dfs, ///< Wing & Gong backtracking search (oracle; small histories)
+    Jit, ///< just-in-time frontier sweep (long adversarial histories)
+};
+
 /**
- * Check one key's sub-history against an initial register value.
+ * Check one key's sub-history against an initial register value with
+ * the DFS engine.
  *
  * @param ops           completed operations on one key
  * @param initial       register value before the history (usually "")
@@ -51,9 +72,20 @@ LinResult checkKeyHistory(const std::vector<HistOp> &ops,
                           const Value &initial = {},
                           size_t state_budget = 1u << 22);
 
+/**
+ * Check one key's sub-history with the just-in-time engine. Verdicts
+ * agree with checkKeyHistory on every history (the differential suite
+ * enforces it); only the cost differs — the JIT sweep is near-linear
+ * when per-key concurrency is bounded, where the DFS is exponential.
+ */
+LinResult checkKeyHistoryJit(const std::vector<HistOp> &ops,
+                             const Value &initial = {},
+                             size_t state_budget = 1u << 22);
+
 /** Check a full multi-key history (compositionally, key by key). */
 LinReport checkHistory(const History &history,
-                       size_t state_budget = 1u << 22);
+                       size_t state_budget = 1u << 22,
+                       LinMode mode = LinMode::Dfs);
 
 /**
  * Check a sharded history shard-by-shard (P-compositionality): shards
@@ -62,7 +94,8 @@ LinReport checkHistory(const History &history,
  * first violating shard, else the last inconclusive one.
  */
 LinReport checkShardedHistory(const History &history,
-                              size_t state_budget = 1u << 22);
+                              size_t state_budget = 1u << 22,
+                              LinMode mode = LinMode::Dfs);
 
 } // namespace hermes::app
 

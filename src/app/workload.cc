@@ -1,5 +1,6 @@
 #include "app/workload.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 
@@ -19,9 +20,58 @@ Workload::Workload(const WorkloadConfig &config) : config_(config)
 Key
 Workload::nextKey(Rng &rng) const
 {
-    if (zipf_)
-        return zipf_->next(rng);
+    if (zipf_) {
+        Key rank = zipf_->next(rng);
+        if (config_.scatterKeys) {
+            // Multiplicative-hash scatter keeps the rank→key map a pure
+            // function (replayable) while spreading hot ranks across
+            // the whole universe — and therefore across shard groups.
+            // Collisions merely merge two ranks' popularity.
+            return mix64(rank + 1) % config_.numKeys;
+        }
+        return rank;
+    }
     return rng.nextBounded(config_.numKeys);
+}
+
+WorkloadConfig
+workloadMixConfig(WorkloadMix mix, uint64_t num_keys)
+{
+    WorkloadConfig config;
+    config.numKeys = num_keys;
+    switch (mix) {
+      case WorkloadMix::UniformReadHeavy:
+        config.writeRatio = 0.05;
+        break;
+      case WorkloadMix::ZipfianHotKey:
+        config.writeRatio = 0.3;
+        config.zipfTheta = 0.99;
+        config.scatterKeys = true;
+        break;
+      case WorkloadMix::RmwHeavy:
+        config.writeRatio = 0.5;
+        config.casRatio = 0.6;
+        config.zipfTheta = 0.6;
+        config.scatterKeys = true;
+        break;
+      case WorkloadMix::WriteStorm:
+        config.numKeys = std::max<uint64_t>(num_keys / 8, 1);
+        config.writeRatio = 0.9;
+        break;
+    }
+    return config;
+}
+
+const char *
+workloadMixName(WorkloadMix mix)
+{
+    switch (mix) {
+      case WorkloadMix::UniformReadHeavy: return "uniform-read-heavy";
+      case WorkloadMix::ZipfianHotKey: return "zipfian-hot-key";
+      case WorkloadMix::RmwHeavy: return "rmw-heavy";
+      case WorkloadMix::WriteStorm: return "write-storm";
+    }
+    return "?";
 }
 
 Key

@@ -30,7 +30,33 @@ struct WorkloadConfig
     size_t valueSize = 32;
     /** Fraction of *updates* issued as CAS RMWs (Hermes extension). */
     double casRatio = 0.0;
+    /**
+     * Scatter Zipfian ranks over the key space with a multiplicative
+     * hash, so the hottest keys land on different shards instead of
+     * wherever ranks 0..k happen to hash — a skewed workload that
+     * concentrates on one shard flatters nothing. No-op when uniform.
+     */
+    bool scatterKeys = false;
 };
+
+/**
+ * Named workload mixes for the adversarial-testing harness: uniform
+ * keys flatter a sharded system, so the fault-schedule explorer (and
+ * anything else stress-hunting) draws from this menu instead.
+ */
+enum class WorkloadMix
+{
+    UniformReadHeavy, ///< the paper's default: 5% writes, uniform keys
+    ZipfianHotKey,    ///< YCSB-style 0.99 skew, 30% writes, scattered
+    RmwHeavy,         ///< 50% updates, 60% of them CAS RMWs, mild skew
+    WriteStorm,       ///< 90% writes over a small hot universe
+};
+
+/** The config realizing @p mix over a @p num_keys universe. */
+WorkloadConfig workloadMixConfig(WorkloadMix mix, uint64_t num_keys);
+
+/** Human-readable mix name (serialization + reports). */
+const char *workloadMixName(WorkloadMix mix);
 
 /** One generated operation. */
 struct WorkloadOp

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Coverage-guided adversarial fault-schedule explorer over the
+ * deterministic simulator — the search layer the byte-identical replay
+ * machinery was built for.
+ *
+ * A *schedule* is a complete, self-contained scenario: cluster shape,
+ * durability knobs, a named workload mix, and a list of timed fault
+ * events (targeted drops, partitions, duplication/loss/heavy-tail-delay
+ * bursts, crashes, WAL crash-restarts). Every schedule is reproducible
+ * from its `(base seed, mutation path)` identity alone, and serializes
+ * to a small text file that replays byte-identically — which is what
+ * lets a shrunk failure become a checked-in regression seed
+ * (tests/corpus/).
+ *
+ * The explorer runs schedules against a fresh SimCluster + LoadDriver,
+ * lin-checks the full recorded history with the just-in-time checker,
+ * and biases mutation toward schedules that light up *new coverage* —
+ * protocol state transitions (stalled reads, replays, retransmits, RMW
+ * aborts), epochs advanced, WAL records recovered, per-message-kind
+ * drops — rather than toward raw event counts. On a violation it
+ * shrinks the schedule with delta debugging over events, then coarsens
+ * magnitudes and the workload, to a minimal reproducer.
+ */
+
+#ifndef HERMES_SIM_EXPLORER_HH
+#define HERMES_SIM_EXPLORER_HH
+
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "app/cluster.hh"
+#include "app/lin_checker.hh"
+#include "app/workload.hh"
+
+namespace hermes::sim
+{
+
+/** One timed fault action of a schedule. */
+struct FaultEvent
+{
+    enum class Kind : uint8_t
+    {
+        Drop,      ///< drop matching protocol messages for [at, at+dur)
+        Partition, ///< split the mesh by node-bit mask, heal at at+dur
+        Duplicate, ///< duplicate-probability burst
+        Loss,      ///< loss-probability burst
+        Delay,     ///< heavy-tail delay-spike burst
+        Crash,     ///< crash-stop a node (permanent; the RM excises it)
+        Restart,   ///< crash-restart a node through its WAL (§3.4 rejoin)
+    };
+
+    /** Wildcard for src/dst in Drop events. */
+    static constexpr uint32_t kAnyNode = 0xFFFFFFFFu;
+
+    Kind kind = Kind::Loss;
+    TimeNs at = 0;           ///< absolute sim time of onset
+    DurationNs duration = 0; ///< burst/partition length (Crash/Restart: 0)
+    uint32_t node = 0;       ///< Crash/Restart target
+    uint64_t mask = 0;       ///< Drop: DropClass bits; Partition: node bits
+    uint32_t src = kAnyNode; ///< Drop: source filter
+    uint32_t dst = kAnyNode; ///< Drop: destination filter
+    double p = 0.0;          ///< probability knob for bursts
+    DurationNs meanNs = 0;   ///< Delay: extra exponential mean
+};
+
+/** Message classes a Drop event's mask selects (bit indices). */
+enum class DropClass : uint32_t
+{
+    Inv = 0,   ///< HermesInv
+    Ack = 1,   ///< HermesAck
+    Val = 2,   ///< HermesVal
+    State = 3, ///< shadow state transfer (StateReq/StateChunk)
+    Rm = 4,    ///< membership traffic (heartbeats + Paxos)
+    kCount = 5,
+};
+
+/** The DropClass bit for @p type (0 when no class covers it). */
+uint64_t dropClassBit(net::MsgType type);
+
+/** A complete, reproducible adversarial scenario. */
+struct Schedule
+{
+    // ---- Identity: materializeSchedule(baseSeed, path) rebuilds it ----
+    uint64_t baseSeed = 0;
+    std::vector<uint32_t> path; ///< mutation choices applied in order
+    bool shrunk = false; ///< edited by the shrinker; id no longer rebuilds it
+
+    // ---- Cluster shape ----
+    uint32_t shards = 1;
+    uint32_t replicas = 3;
+    uint64_t clusterSeed = 1;
+    bool durable = false;    ///< per-replica WALs; enables Restart events
+    uint8_t fsyncPolicy = 1; ///< store::FsyncPolicy (durable only)
+    bool rm = true;          ///< fast RM agent (off when Restart choreographs)
+
+    // ---- Workload ----
+    app::WorkloadMix mix = app::WorkloadMix::UniformReadHeavy;
+    uint32_t numKeys = 64;
+    uint32_t sessionsPerNode = 4;
+    uint64_t driverSeed = 1;
+    DurationNs runNs = 30_ms;
+    DurationNs quiesceNs = 60_ms;
+
+    /**
+     * Run against the test-only ack-before-commit shim
+     * (ClusterConfig::buggyAckBeforeCommitAtEpoch = 2). Stamped onto
+     * failures found under ExplorerConfig::armSelfTestBug so the
+     * serialized reproducer replays the buggy system — and its digest —
+     * standalone. Never set on real corpus schedules.
+     */
+    bool selfTestBug = false;
+
+    std::vector<FaultEvent> events;
+
+    uint32_t totalNodes() const { return shards * replicas; }
+
+    /** "s<seed>" / "s<seed>/m3.7.1", "+shrunk" once the shrinker edited it. */
+    std::string id() const;
+};
+
+/** Versioned text round-trip (the corpus file format). */
+std::string serializeSchedule(const Schedule &schedule);
+std::optional<Schedule> parseSchedule(const std::string &text,
+                                      std::string *error = nullptr);
+
+/** Explorer/runner tuning. */
+struct ExplorerConfig
+{
+    uint64_t baseSeed = 1;
+    /** Stop after this many schedule runs (0 = wall clock governs). */
+    size_t maxSchedules = 200;
+    /** Wall-clock budget in seconds (0 = schedule count governs). */
+    double maxSeconds = 0.0;
+    /** Extra run budget the shrinker may spend on a failure. */
+    size_t shrinkRuns = 150;
+    /** Per-key state budget handed to the JIT lin checker. */
+    size_t linStateBudget = 1u << 22;
+    /**
+     * Arm the test-only ack-before-commit bug
+     * (ClusterConfig::buggyAckBeforeCommitAtEpoch = 2): the self-test of
+     * the whole find→shrink loop.
+     */
+    bool armSelfTestBug = false;
+    /** Progress sink (optional; e.g. the CLI prints these). */
+    std::function<void(const std::string &)> log;
+};
+
+/** Everything observed from running one schedule. */
+struct RunOutcome
+{
+    app::LinReport lin;
+    uint64_t opsTotal = 0;
+    uint64_t historyOps = 0;
+    /** FNV-1a over the canonical history encoding (replay equality). */
+    std::string historyDigest;
+    /** Sorted coverage feature ids this run lit up. */
+    std::vector<uint32_t> coverage;
+
+    // Summary counters for reports.
+    Epoch maxEpoch = 0;
+    uint64_t netDropped = 0;
+    uint64_t netDuplicated = 0;
+    uint64_t replaysStarted = 0;
+    uint64_t invRetransmits = 0;
+    uint64_t readsStalled = 0;
+    uint64_t walRecordsRecovered = 0;
+    uint64_t walTornBytes = 0;
+    uint64_t crashes = 0;
+    uint64_t restarts = 0;
+};
+
+/** A found-and-shrunk linearizability violation. */
+struct Failure
+{
+    Schedule original; ///< as first discovered
+    Schedule shrunk;   ///< minimal still-failing reproducer
+    RunOutcome outcome; ///< outcome of the shrunk schedule
+    size_t runsToFind = 0;
+    size_t shrinkRunsUsed = 0;
+};
+
+/** Deterministic root schedule for @p seed. */
+Schedule generateSchedule(uint64_t seed);
+
+/** Deterministic mutation: child id = parent id + @p choice. */
+Schedule mutateSchedule(const Schedule &parent, uint32_t choice);
+
+/** Rebuild the schedule identified by (seed, path). */
+Schedule materializeSchedule(uint64_t seed,
+                             const std::vector<uint32_t> &path);
+
+/**
+ * Run one schedule: fresh SimCluster (scratch WAL dir when durable),
+ * LoadDriver with the schedule's workload mix, fault events applied at
+ * their times, full history JIT-lin-checked. Identical schedules
+ * produce identical outcomes (digest included) — the corpus replay
+ * suite asserts it.
+ */
+RunOutcome runSchedule(const Schedule &schedule, const ExplorerConfig &cfg);
+
+/**
+ * Delta-debug @p failing to a minimal still-violating schedule: event
+ * chunks, then single events, then magnitude/workload coarsening.
+ */
+Schedule shrinkSchedule(const Schedule &failing, const ExplorerConfig &cfg,
+                        size_t *runs_used = nullptr);
+
+/** The coverage-guided search loop. */
+class Explorer
+{
+  public:
+    explicit Explorer(ExplorerConfig cfg);
+
+    /**
+     * Search until a violation is found (returned shrunk) or the
+     * schedule/wall-clock budget expires (nullopt: no bug found).
+     */
+    std::optional<Failure> run();
+
+    size_t schedulesRun() const { return runs_; }
+    size_t coverageSize() const { return coverage_.size(); }
+
+  private:
+    ExplorerConfig cfg_;
+    std::set<uint32_t> coverage_; ///< global features seen so far
+    std::vector<Schedule> pool_;  ///< coverage-novel schedules to mutate
+    size_t runs_ = 0;
+};
+
+} // namespace hermes::sim
+
+#endif // HERMES_SIM_EXPLORER_HH

@@ -8,8 +8,23 @@ namespace hermes::sim
 
 SimNetwork::SimNetwork(EventQueue &events, const CostModel &cost,
                        size_t nodes, uint64_t seed)
-    : events_(events), cost_(cost), rng_(seed), nodeDown_(nodes, false)
+    : events_(events), cost_(cost), rng_(seed), nodeDown_(nodes, false),
+      dropsByType_(256, 0)
 {
+}
+
+void
+SimNetwork::countDrop(const net::MessagePtr &msg)
+{
+    // Batches dropped whole attribute a drop to every inner message:
+    // the coverage consumer cares which *protocol* messages died.
+    if (msg->type() == net::MsgType::MsgBatch) {
+        for (const net::MessagePtr &inner :
+             static_cast<const net::BatchMsg &>(*msg).msgs)
+            countDrop(inner);
+        return;
+    }
+    ++dropsByType_[static_cast<size_t>(msg->type())];
 }
 
 void
@@ -54,6 +69,7 @@ SimNetwork::scheduleDelivery(NodeId dst, net::MessagePtr msg, TimeNs depart)
             deliver_(dst, msg);
         } else {
             ++dropped_;
+            countDrop(msg);
         }
     });
 }
@@ -76,10 +92,12 @@ SimNetwork::send(NodeId src, NodeId dst, net::MessagePtr msg, TimeNs depart)
             std::vector<net::MessagePtr> kept;
             kept.reserve(batch.msgs.size());
             for (const net::MessagePtr &inner : batch.msgs) {
-                if (dropFilter_(src, dst, inner))
+                if (dropFilter_(src, dst, inner)) {
                     ++dropped_;
-                else
+                    countDrop(inner);
+                } else {
                     kept.push_back(inner);
+                }
             }
             if (kept.size() != batch.msgs.size()) {
                 if (kept.empty())
@@ -96,15 +114,18 @@ SimNetwork::send(NodeId src, NodeId dst, net::MessagePtr msg, TimeNs depart)
             }
         } else if (dropFilter_(src, dst, msg)) {
             ++dropped_;
+            countDrop(msg);
             return;
         }
     }
     if (!reachable(src, dst)) {
         ++dropped_;
+        countDrop(msg);
         return;
     }
     if (lossProb_ > 0.0 && rng_.nextBool(lossProb_)) {
         ++dropped_;
+        countDrop(msg);
         return;
     }
     scheduleDelivery(dst, msg, depart);

@@ -103,9 +103,18 @@ class SimNetwork
     /** Total wire bytes accepted into the fabric (for bandwidth studies). */
     uint64_t sentBytes() const { return sentBytes_; }
 
+    /**
+     * Drops broken down by message type (index = MsgType value) — a
+     * coverage signal for the fault-schedule explorer: a schedule that
+     * first manages to kill, say, a StateChunk mid-transfer has reached
+     * behavior no drop counter total would reveal.
+     */
+    const std::vector<uint64_t> &dropsByType() const { return dropsByType_; }
+
   private:
     bool reachable(NodeId src, NodeId dst) const;
     void scheduleDelivery(NodeId dst, net::MessagePtr msg, TimeNs depart);
+    void countDrop(const net::MessagePtr &msg);
 
     EventQueue &events_;
     const CostModel &cost_;
@@ -125,6 +134,7 @@ class SimNetwork
     uint64_t duplicated_ = 0;
     uint64_t delivered_ = 0;
     uint64_t sentBytes_ = 0;
+    std::vector<uint64_t> dropsByType_;
 };
 
 } // namespace hermes::sim

@@ -278,6 +278,7 @@ SimRuntime::crash(NodeId node)
     cpu.alive = false;
     cpu.queue.clear();
     cpu.idleWorkers = 0;
+    ++crashes_;
     nodes_[node] = nullptr; // the handle is typically destroyed next
     network_.setNodeDown(node, true);
     LOG_INFO("node %u crashed at %llu ns", node,
@@ -295,6 +296,7 @@ SimRuntime::restart(NodeId node)
     cpu.alive = true;
     cpu.queue.clear();
     cpu.idleWorkers = cost_.workerThreads;
+    ++restarts_;
     network_.setNodeDown(node, false);
     LOG_INFO("node %u restarted at %llu ns", node,
              static_cast<unsigned long long>(events_.now()));

@@ -103,6 +103,10 @@ class SimRuntime
 
     bool alive(NodeId node) const { return cpus_[node].alive; }
 
+    /** Cumulative crash()/restart() counts (explorer coverage signals). */
+    uint64_t crashCount() const { return crashes_; }
+    uint64_t restartCount() const { return restarts_; }
+
     /** Cumulative busy worker-nanoseconds (utilization reporting). */
     uint64_t cpuBusyNs(NodeId node) const { return cpus_[node].busyNs; }
 
@@ -141,6 +145,8 @@ class SimRuntime
     EventQueue events_;
     SimNetwork network_;
     std::vector<NodeCpu> cpus_;
+    uint64_t crashes_ = 0;
+    uint64_t restarts_ = 0;
     std::vector<net::Node *> nodes_;
     std::vector<std::unique_ptr<NodeEnv>> envs_;
 

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The regression corpus: every schedule under tests/corpus/ must parse,
+ * replay byte-identically (same history digest twice in a row, and
+ * matching the digest recorded in the file when present), and meet its
+ * recorded linearizability expectation — Ok for the hardening
+ * schedules, Violation for the planted-bug reproducer the explorer
+ * shrank. A corpus file that stops reproducing its digest means replay
+ * determinism broke; one that stops meeting its verdict means a
+ * protocol (or checker) regression.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/explorer.hh"
+
+#ifndef HERMES_CORPUS_DIR
+#error "HERMES_CORPUS_DIR must point at tests/corpus"
+#endif
+
+namespace hermes::sim
+{
+namespace
+{
+
+struct CorpusEntry
+{
+    std::string path;
+    std::string text;
+    Schedule schedule;
+    std::string expectedDigest; ///< from "# expected-digest <hex>"
+    bool expectViolation = false; ///< from "# expect violation"
+};
+
+std::vector<CorpusEntry>
+loadCorpus()
+{
+    std::vector<CorpusEntry> entries;
+    std::vector<std::filesystem::path> files;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(HERMES_CORPUS_DIR)) {
+        if (entry.path().extension() == ".sched")
+            files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &file : files) {
+        std::ifstream in(file, std::ios::binary);
+        std::stringstream buf;
+        buf << in.rdbuf();
+
+        CorpusEntry e;
+        e.path = file.filename().string();
+        e.text = buf.str();
+        std::string error;
+        std::optional<Schedule> parsed = parseSchedule(e.text, &error);
+        EXPECT_TRUE(parsed) << e.path << ": " << error;
+        if (!parsed)
+            continue;
+        e.schedule = *parsed;
+
+        std::istringstream lines(e.text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            const std::string digest_tag = "# expected-digest ";
+            if (line.rfind(digest_tag, 0) == 0)
+                e.expectedDigest = line.substr(digest_tag.size());
+            if (line == "# expect violation")
+                e.expectViolation = true;
+        }
+        entries.push_back(std::move(e));
+    }
+    return entries;
+}
+
+TEST(CorpusReplay, CorpusIsNonTrivial)
+{
+    auto corpus = loadCorpus();
+    EXPECT_GE(corpus.size(), 5u);
+    // Between them the schedules must cover the harness's main axes.
+    bool durable = false, sharded = false, with_rm = false;
+    bool violation = false;
+    size_t events = 0;
+    for (const CorpusEntry &e : corpus) {
+        durable |= e.schedule.durable;
+        sharded |= e.schedule.shards > 1;
+        with_rm |= e.schedule.rm;
+        violation |= e.expectViolation;
+        events += e.schedule.events.size();
+    }
+    EXPECT_TRUE(durable);
+    EXPECT_TRUE(sharded);
+    EXPECT_TRUE(with_rm);
+    EXPECT_TRUE(violation);
+    EXPECT_GE(events, corpus.size());
+}
+
+TEST(CorpusReplay, SerializationIsCanonical)
+{
+    // Re-serializing the parsed schedule must reproduce the file minus
+    // its comment lines: corpus files are in canonical form, so a
+    // regenerated reproducer diffs cleanly against a checked-in one.
+    for (const CorpusEntry &e : loadCorpus()) {
+        std::string canonical;
+        std::istringstream lines(e.text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (!line.empty() && line[0] == '#')
+                continue;
+            canonical += line;
+            canonical += '\n';
+        }
+        EXPECT_EQ(serializeSchedule(e.schedule), canonical) << e.path;
+    }
+}
+
+TEST(CorpusReplay, SchedulesReplayByteIdenticallyAndMeetVerdicts)
+{
+    ExplorerConfig cfg;
+    for (const CorpusEntry &e : loadCorpus()) {
+        SCOPED_TRACE(e.path);
+        RunOutcome first = runSchedule(e.schedule, cfg);
+        RunOutcome second = runSchedule(e.schedule, cfg);
+
+        ASSERT_GT(first.opsTotal, 0u);
+        EXPECT_EQ(first.historyDigest, second.historyDigest);
+        EXPECT_EQ(first.opsTotal, second.opsTotal);
+        EXPECT_EQ(first.coverage, second.coverage);
+        if (!e.expectedDigest.empty()) {
+            EXPECT_EQ(first.historyDigest, e.expectedDigest);
+        }
+
+        if (e.expectViolation) {
+            EXPECT_EQ(first.lin.result, app::LinResult::Violation)
+                << first.lin.detail;
+        } else {
+            EXPECT_TRUE(first.lin.ok()) << first.lin.detail;
+        }
+    }
+}
+
+} // namespace
+} // namespace hermes::sim

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * hermes_explore: CLI for the adversarial fault-schedule explorer.
+ *
+ *   hermes_explore explore [--seed N] [--schedules N] [--seconds S]
+ *                          [--shrink-runs N] [--self-test] [--out FILE]
+ *       Coverage-guided search for linearizability violations. Exit 0
+ *       when the budget expires with nothing found; exit 2 with the
+ *       shrunk reproducer written to --out (default failure.sched) when
+ *       a violation is found. --self-test arms the test-only
+ *       ack-before-commit shim, turning the run into an end-to-end check
+ *       of the find→shrink loop itself.
+ *
+ *   hermes_explore run FILE...
+ *       Replay schedule files (e.g. the regression corpus). Prints the
+ *       outcome and history digest of each; exit 2 on any violation,
+ *       3 on any inconclusive check.
+ *
+ *   hermes_explore show --seed N [--path a.b.c]
+ *       Materialize and print the schedule with that identity (what the
+ *       explorer would run), without running it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/explorer.hh"
+
+using namespace hermes;
+
+namespace
+{
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: hermes_explore explore [--seed N] [--schedules N]\n"
+        "                              [--seconds S] [--shrink-runs N]\n"
+        "                              [--self-test] [--out FILE]\n"
+        "       hermes_explore run FILE...\n"
+        "       hermes_explore show --seed N [--path a.b.c]\n");
+    return 64;
+}
+
+std::string
+describe(const sim::RunOutcome &o)
+{
+    const char *verdict = "ok";
+    if (o.lin.result == app::LinResult::Violation)
+        verdict = "VIOLATION";
+    else if (o.lin.result == app::LinResult::Inconclusive)
+        verdict = "inconclusive";
+    std::ostringstream out;
+    out << verdict << " ops=" << o.opsTotal << " digest=" << o.historyDigest
+        << " epoch=" << o.maxEpoch << " dropped=" << o.netDropped
+        << " stalled=" << o.readsStalled << " replays=" << o.replaysStarted
+        << " crashes=" << o.crashes << " restarts=" << o.restarts;
+    if (o.walRecordsRecovered)
+        out << " wal-recovered=" << o.walRecordsRecovered;
+    if (!o.lin.detail.empty())
+        out << "\n  " << o.lin.detail;
+    return out.str();
+}
+
+bool
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    return static_cast<bool>(out);
+}
+
+int
+cmdExplore(int argc, char **argv)
+{
+    sim::ExplorerConfig cfg;
+    std::string out_path = "failure.sched";
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *what) -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", what);
+                std::exit(64);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seed")
+            cfg.baseSeed = std::strtoull(value("--seed"), nullptr, 0);
+        else if (arg == "--schedules")
+            cfg.maxSchedules = std::strtoull(value("--schedules"), nullptr, 0);
+        else if (arg == "--seconds")
+            cfg.maxSeconds = std::strtod(value("--seconds"), nullptr);
+        else if (arg == "--shrink-runs")
+            cfg.shrinkRuns =
+                std::strtoull(value("--shrink-runs"), nullptr, 0);
+        else if (arg == "--self-test")
+            cfg.armSelfTestBug = true;
+        else if (arg == "--out")
+            out_path = value("--out");
+        else
+            return usage();
+    }
+    cfg.log = [](const std::string &msg) {
+        std::fprintf(stderr, "[explore] %s\n", msg.c_str());
+    };
+
+    sim::Explorer explorer(cfg);
+    std::optional<sim::Failure> failure = explorer.run();
+    std::printf("schedules run: %zu, coverage features: %zu\n",
+                explorer.schedulesRun(), explorer.coverageSize());
+    if (!failure) {
+        std::printf("no violation found\n");
+        return 0;
+    }
+
+    std::printf("VIOLATION found by %s after %zu runs\n",
+                failure->original.id().c_str(), failure->runsToFind);
+    std::printf("shrunk to %zu events in %zu shrink runs\n",
+                failure->shrunk.events.size(), failure->shrinkRunsUsed);
+    std::printf("%s\n", describe(failure->outcome).c_str());
+    std::string text = sim::serializeSchedule(failure->shrunk);
+    text += "# expected-digest " + failure->outcome.historyDigest + "\n";
+    if (!writeFile(out_path, text)) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 74;
+    }
+    std::printf("reproducer written to %s\n", out_path.c_str());
+    std::string orig_path = out_path + ".orig";
+    writeFile(orig_path, sim::serializeSchedule(failure->original));
+    return 2;
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    if (argc == 0)
+        return usage();
+    sim::ExplorerConfig cfg;
+    int rc = 0;
+    for (int i = 0; i < argc; ++i) {
+        std::ifstream in(argv[i], std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n", argv[i]);
+            return 66;
+        }
+        std::stringstream buf;
+        buf << in.rdbuf();
+        std::string error;
+        std::optional<sim::Schedule> schedule =
+            sim::parseSchedule(buf.str(), &error);
+        if (!schedule) {
+            std::fprintf(stderr, "%s: %s\n", argv[i], error.c_str());
+            return 65;
+        }
+        sim::RunOutcome outcome = sim::runSchedule(*schedule, cfg);
+        std::printf("%s (%s): %s\n", argv[i], schedule->id().c_str(),
+                    describe(outcome).c_str());
+        if (outcome.lin.result == app::LinResult::Violation)
+            rc = 2;
+        else if (outcome.lin.result == app::LinResult::Inconclusive
+                 && rc == 0)
+            rc = 3;
+    }
+    return rc;
+}
+
+int
+cmdShow(int argc, char **argv)
+{
+    uint64_t seed = 1;
+    std::vector<uint32_t> path;
+    for (int i = 0; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+        } else if (arg == "--path" && i + 1 < argc) {
+            std::istringstream ps(argv[++i]);
+            std::string tok;
+            while (std::getline(ps, tok, '.'))
+                path.push_back(
+                    static_cast<uint32_t>(std::strtoul(tok.c_str(),
+                                                       nullptr, 0)));
+        } else {
+            return usage();
+        }
+    }
+    sim::Schedule schedule = sim::materializeSchedule(seed, path);
+    std::fputs(sim::serializeSchedule(schedule).c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    if (cmd == "explore")
+        return cmdExplore(argc - 2, argv + 2);
+    if (cmd == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (cmd == "show")
+        return cmdShow(argc - 2, argv + 2);
+    return usage();
+}
