@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "app/replica_handle.hh"
+#include "app/slot_map.hh"
 #include "sim/runtime.hh"
 
 namespace hermes::app
@@ -154,14 +155,22 @@ class SimCluster
     const ClusterConfig &config() const { return config_; }
     TimeNs now() const { return runtime_->now(); }
 
-    /** The shard owning @p key. */
-    uint32_t shardOf(Key key) const { return shardMap_.shardOf(key); }
+    /**
+     * The shard owning @p key under the cluster's LIVE slot map — equal
+     * to the uniform shardOfKey placement until a migration moves slots,
+     * after which routing follows the installed ownership.
+     */
+    uint32_t shardOf(Key key) const { return slotMap_.ownerOf(key); }
+
+    /** The live versioned slot → shard ownership map. */
+    const SlotMap &slotMap() const { return slotMap_; }
 
     /** The @p replica_index -th replica of @p key 's shard group. */
     NodeId
     routeNode(Key key, size_t replica_index = 0) const
     {
-        return shardMap_.nodeFor(key, replica_index);
+        const NodeSet &group = shardMap_.nodesOf(shardOf(key));
+        return group.at(replica_index % group.size());
     }
 
     /**
@@ -173,7 +182,7 @@ class SimCluster
     NodeId
     liveRouteNode(Key key, size_t replica_index = 0) const
     {
-        return liveNodeOfShard(shardMap_.shardOf(key), replica_index);
+        return liveNodeOfShard(shardOf(key), replica_index);
     }
 
     /** liveRouteNode for a caller that already hashed the key. */
@@ -192,6 +201,39 @@ class SimCluster
      * it out; the node is operational once the transfer completes.
      */
     void crashRestartNode(NodeId id);
+
+    // ---- Live slot migration (Hermes only) ----
+
+    /**
+     * Start a live migration of @p slots from shard @p from to shard
+     * @p to. The coordinator copies a snapshot of every key in the
+     * moving slots to all live destination replicas, then drains
+     * catch-up deltas (keys re-dirtied by writes racing the transfer)
+     * in rounds; once the dirty set is small it takes the migration
+     * lock — new writes to moving slots park instead of applying — does
+     * the final drain, and cuts over by installing the epoch+1 map and
+     * resubmitting the parked writes to the destination. Writes whose
+     * protocol commit straddles the cutover are forwarded to the new
+     * owner before their acknowledgement fires, so no acknowledged
+     * write is ever lost. Runs as scheduled events: advance the sim
+     * (runFor) until migrationActive() clears. Slots not owned by
+     * @p from are ignored; one migration at a time.
+     */
+    void migrateSlots(std::vector<uint32_t> slots, uint32_t from,
+                      uint32_t to);
+
+    /**
+     * Fault-schedule form of migrateSlots: start the migration at
+     * absolute sim time @p at (skipped if one is already running then).
+     */
+    void scheduleMigration(TimeNs at, std::vector<uint32_t> slots,
+                           uint32_t from, uint32_t to);
+
+    bool migrationActive() const { return migration_ != nullptr; }
+    uint64_t slotsMigrated() const { return slotsMigrated_; }
+    uint64_t migrationsCompleted() const { return migrationsCompleted_; }
+    /** Writes parked at the migration lock across all migrations. */
+    uint64_t migrationWritesParked() const { return writesParked_; }
 
     /** Advance simulated time. */
     void runFor(DurationNs d) { runtime_->runFor(d); }
@@ -226,13 +268,48 @@ class SimCluster
     bool converged(Key key) const;
 
   private:
+    struct Migration;
+
     /** Per-node ReplicaOptions: shard-group base, batching, WAL path. */
     ReplicaOptions optionsForNode(uint32_t shard, NodeId id) const;
 
+    /** One timed migration work quantum (copy batch / drain / cutover). */
+    void migrationStep();
+    void finishMigration();
+
+    /** Fence every live source replica's job queue (see Migration). */
+    void issueMigrationFences();
+
+    /**
+     * Cutover verification scan: true iff every key in a moving slot is
+     * Valid on all live operational source replicas (no in-flight write
+     * trace) AND its store timestamp matches the last copy we forwarded.
+     * Keys with newer commits are queued for re-copy as a side effect.
+     */
+    bool migrationQuiesced();
+
+    /**
+     * Copy @p key 's current (value, ts) from the lowest-id live replica
+     * of @p src onto every live replica of @p dst as install jobs;
+     * @p done (optional) fires after the last install executed.
+     */
+    void forwardKeyToShard(Key key, uint32_t src, uint32_t dst,
+                           std::function<void()> done);
+
+    /** Completion of a write/cas submitted against a mid-move slot. */
+    void movingOpFinish(Key key, uint32_t slot, uint32_t from, uint64_t gen,
+                        std::function<void()> deliver);
+
     ClusterConfig config_;
     ShardMap shardMap_;
+    SlotMap slotMap_;
     std::unique_ptr<sim::SimRuntime> runtime_;
     std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
+    std::unique_ptr<Migration> migration_;
+    uint64_t migrationGen_ = 0;
+    uint64_t slotsMigrated_ = 0;
+    uint64_t migrationsCompleted_ = 0;
+    uint64_t writesParked_ = 0;
 };
 
 } // namespace hermes::app

@@ -22,9 +22,19 @@ History::byKey() const
 std::map<uint32_t, std::vector<HistOp>>
 History::byShard() const
 {
+    // A key's whole sub-history must land in ONE bucket: under a live
+    // slot migration the same key's ops carry both the source and the
+    // destination shard tag, and splitting them across buckets would
+    // erase the cross-move ordering the checker must validate. Bucket
+    // every key by its last-recorded shard (its post-move home); for
+    // static histories every op of a key carries the same tag, so this
+    // is the old per-op grouping exactly.
+    std::map<Key, uint32_t> home;
+    for (const HistOp &op : ops_)
+        home[op.key] = op.shard;
     std::map<uint32_t, std::vector<HistOp>> grouped;
     for (const HistOp &op : ops_)
-        grouped[op.shard].push_back(op);
+        grouped[home[op.key]].push_back(op);
     return grouped;
 }
 

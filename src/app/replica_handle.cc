@@ -34,6 +34,7 @@ ReplicaHandle::ReplicaHandle(net::Env &env, const ReplicaOptions &options,
                 batcher_->flush();
         });
     }
+    walOwnedFilter_ = options.walRecoveryOwned;
     if (options.enableRm)
         rm_ = std::make_unique<membership::RmNode>(env, std::move(initial),
                                                    options.rmConfig);
@@ -63,6 +64,12 @@ ReplicaHandle::replayWal(uint8_t restore_state)
     // apply below until recovery disarms them.
     store_.setRecoveryLocks(&recoveryLocks_);
     for (const store::WalRecord &rec : wal_->recovered()) {
+        // Elastic sharding: skip records for keys whose slot has moved
+        // to another shard since the record was appended (the record's
+        // mapEpoch predates the cutover). The destination owns the
+        // authoritative copy now — resurrecting ours would fork it.
+        if (walOwnedFilter_ && !walOwnedFilter_(rec.key))
+            continue;
         store_.withKey(rec.key, [&](store::KeyRecord &krec) {
             // Newest wins: records replay in append order, and a live
             // INV that raced ahead of the replay must not regress.
@@ -76,6 +83,40 @@ ReplicaHandle::replayWal(uint8_t restore_state)
     }
     store_.setRecoveryLocks(nullptr);
     wal_->clearRecovered();
+}
+
+bool
+ReplicaHandle::applyMigratedEntry(Key key, const ValueRef &value,
+                                  Timestamp ts, uint8_t flags)
+{
+    bool applied = store_.withKey(key, [&](store::KeyRecord &rec) {
+        // Same rules as a shadow-sync state chunk: writes racing the
+        // transfer may have installed a newer version — never regress.
+        if (ts > rec.meta().ts) {
+            rec.meta().ts = ts;
+            rec.meta().flags = flags;
+            rec.meta().state =
+                static_cast<uint8_t>(proto::KeyState::Valid);
+            rec.setValue(value);
+            return true;
+        }
+        // Equal timestamp: the source observed this exact version
+        // committed, so an Invalid local copy (WAL-restored) upgrades.
+        if (ts == rec.meta().ts
+                && static_cast<proto::KeyState>(rec.meta().state)
+                       == proto::KeyState::Invalid) {
+            rec.meta().state =
+                static_cast<uint8_t>(proto::KeyState::Valid);
+        }
+        return false;
+    });
+    // Migrated data a crash must not lose: log what we adopt, stamped
+    // with the destination's current map epoch.
+    if (applied) {
+        if (store::Wal *w = store_.wal())
+            w->append(key, ts, flags, value);
+    }
+    return applied;
 }
 
 bool

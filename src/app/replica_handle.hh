@@ -58,6 +58,15 @@ struct ReplicaOptions
      * same window leaves the node.
      */
     store::WalConfig wal{};
+    /**
+     * Elastic-sharding recovery filter: when set, WAL records whose key
+     * this predicate rejects are skipped during replayWal(). A replica
+     * restarting after a migration cutover holds log records for slots
+     * its shard no longer owns; replaying them would resurrect ownership
+     * the slot map took away, so the deployment wires this to "is the
+     * key's slot still ours under the current map".
+     */
+    std::function<bool(Key)> walRecoveryOwned;
 };
 
 /**
@@ -104,6 +113,20 @@ class ReplicaHandle : public net::Node
     /** The write-ahead log; nullptr when durability is off. */
     store::Wal *wal() { return wal_.get(); }
 
+    /**
+     * Install one slot-migration entry directly into the local KVS (and
+     * WAL, when durable): the destination-side apply of the snapshot /
+     * catch-up-delta transfer. Same discipline as a shadow-sync state
+     * chunk — newest timestamp wins, and the entry lands Valid because
+     * the source observed exactly this version committed. Idempotent
+     * (re-sending a delta is a no-op), and safe against writes racing
+     * the transfer on the destination: a newer local version is never
+     * regressed. Must run in the replica's loop/job context, like every
+     * other store mutation. @return whether the entry was adopted.
+     */
+    bool applyMigratedEntry(Key key, const ValueRef &value, Timestamp ts,
+                            uint8_t flags);
+
   protected:
     ReplicaHandle(net::Env &env, const ReplicaOptions &options,
                   membership::MembershipView initial);
@@ -130,6 +153,7 @@ class ReplicaHandle : public net::Node
     std::unique_ptr<net::Batcher> batcher_; ///< before rm_: RM stays raw
     std::unique_ptr<membership::RmNode> rm_;
     store::KeyLockTable recoveryLocks_;
+    std::function<bool(Key)> walOwnedFilter_;
 };
 
 /** Build the replica assembly for @p protocol on @p env. */

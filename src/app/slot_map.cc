@@ -1,0 +1,66 @@
+#include "app/slot_map.hh"
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace hermes::app
+{
+
+uint32_t
+slotOfKey(Key key)
+{
+    uint64_t state = key;
+    return static_cast<uint32_t>(splitmix64(state) % kNumSlots);
+}
+
+SlotMap
+SlotMap::uniform(uint32_t shards)
+{
+    hermes_assert(shards > 0);
+    SlotMap map;
+    map.epoch = 1;
+    map.numShards = shards;
+    map.owner.resize(kNumSlots);
+    for (uint32_t slot = 0; slot < kNumSlots; ++slot)
+        map.owner[slot] = static_cast<uint16_t>(slot % shards);
+    return map;
+}
+
+std::vector<uint32_t>
+SlotMap::slotsOwnedBy(uint32_t shard) const
+{
+    std::vector<uint32_t> slots;
+    for (uint32_t slot = 0; slot < kNumSlots; ++slot)
+        if (owner[slot] == shard)
+            slots.push_back(slot);
+    return slots;
+}
+
+SlotMap
+SlotMap::withSlotsMovedTo(const std::vector<uint32_t> &slots,
+                          uint32_t to) const
+{
+    hermes_assert(to < numShards);
+    SlotMap next = *this;
+    next.epoch = epoch + 1;
+    for (uint32_t slot : slots) {
+        hermes_assert(slot < kNumSlots);
+        next.owner[slot] = static_cast<uint16_t>(to);
+    }
+    return next;
+}
+
+SlotMap
+SlotMap::withShardCount(uint32_t shards) const
+{
+    hermes_assert(shards > 0);
+    SlotMap next = *this;
+    next.epoch = epoch + 1;
+    next.numShards = shards;
+    // Shrinking requires the departing ids to own nothing already.
+    for (uint32_t slot = 0; slot < kNumSlots; ++slot)
+        hermes_assert(next.owner[slot] < shards);
+    return next;
+}
+
+} // namespace hermes::app

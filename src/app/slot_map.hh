@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Versioned slot-indirection map: the elastic-sharding routing layer.
+ *
+ * The key space is hashed onto a fixed universe of kNumSlots slots
+ * (`slot = splitmix64(key) % kNumSlots`), and each slot is owned by a
+ * shard. Routing is therefore two table-free steps — hash, then one
+ * array index — and *rebalancing moves slots, not hash ranges*: growing
+ * from S to S+1 shards reassigns only the slots handed to the newcomer,
+ * instead of reshuffling nearly every key the way `hash % S` does.
+ *
+ * The map carries a monotonically increasing epoch. Services advertise
+ * (epoch, owner table) in HELLO and WrongShard replies; clients adopt
+ * strictly by epoch — a delayed reply from an older generation can
+ * never roll a client back — and services reject request stamps from a
+ * *future* epoch before indexing anything with them. Migration cutover
+ * installs epoch+1 with the moved slots repointed; everything else is
+ * untouched.
+ */
+
+#ifndef HERMES_APP_SLOT_MAP_HH
+#define HERMES_APP_SLOT_MAP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace hermes::app
+{
+
+/**
+ * Fixed slot universe. 1024 divides evenly by every shard count the
+ * deployments use (1..8), which makes the uniform map's owner
+ * assignment `slot % S` coincide exactly with the legacy
+ * `splitmix64(key) % S` placement — pre-slot-map deployments, recorded
+ * histories and corpus digests carry over unchanged.
+ */
+constexpr uint32_t kNumSlots = 1024;
+
+/** The slot owning @p key (pure, stable across nodes and runs). */
+uint32_t slotOfKey(Key key);
+
+/** A versioned slot → shard ownership table. */
+struct SlotMap
+{
+    /** Monotonic map version; 0 is reserved for "no map adopted yet". */
+    uint32_t epoch = 1;
+    /** Shard-id space size (owners are < numShards). */
+    uint32_t numShards = 1;
+    /** Owning shard per slot; size kNumSlots. */
+    std::vector<uint16_t> owner;
+
+    /** The epoch-1 uniform map over @p shards: owner[slot] = slot % S. */
+    static SlotMap uniform(uint32_t shards);
+
+    uint32_t
+    ownerOf(Key key) const
+    {
+        return owner[slotOfKey(key)];
+    }
+
+    uint32_t
+    ownerOfSlot(uint32_t slot) const
+    {
+        return owner[slot];
+    }
+
+    /** All slots currently owned by @p shard, ascending. */
+    std::vector<uint32_t> slotsOwnedBy(uint32_t shard) const;
+
+    /**
+     * The successor map: epoch+1 with @p slots repointed at @p to.
+     * Slots not owned by a single source are fine (idempotent re-point).
+     */
+    SlotMap withSlotsMovedTo(const std::vector<uint32_t> &slots,
+                             uint32_t to) const;
+
+    /** The successor map for a deployment growing to @p shards shards. */
+    SlotMap withShardCount(uint32_t shards) const;
+
+    bool operator==(const SlotMap &other) const = default;
+};
+
+} // namespace hermes::app
+
+#endif // HERMES_APP_SLOT_MAP_HH

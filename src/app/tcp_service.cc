@@ -17,6 +17,7 @@
 #include "app/cluster.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "hermes/key_state.hh"
 
 namespace hermes::app
 {
@@ -38,12 +39,32 @@ steadyNowNs()
 
 } // namespace
 
+/** Source-side interception state of one live slot migration. */
+struct TcpKvService::MigrationState
+{
+    uint64_t gen = 0;
+    std::vector<bool> moving;         ///< slot → mid-move?
+    bool locked = false;              ///< parked phase reached
+    std::set<Key> dirty;              ///< keys to re-copy (catch-up)
+    size_t inflight = 0;              ///< tracked commits in flight
+    struct Parked
+    {
+        NodeId node;
+        net::ClientConnId conn;
+        std::shared_ptr<net::Message> msg;
+    };
+    std::vector<Parked> parked;       ///< ops held for the cutover
+};
+
 TcpKvService::TcpKvService(Protocol protocol, size_t nodes,
                            ReplicaOptions options, net::TcpConfig config,
                            size_t num_shards, uint32_t shard_id)
     : cluster_(nodes, config), protocol_(protocol),
       baseOptions_(std::move(options)),
-      numShards_(num_shards ? num_shards : 1), shardId_(shard_id)
+      numShards_(num_shards ? num_shards : 1), shardId_(shard_id),
+      slotMap_(std::make_shared<const SlotMap>(
+          SlotMap::uniform(static_cast<uint32_t>(num_shards ? num_shards
+                                                            : 1))))
 {
     hermes_assert(shardId_ < numShards_);
     net::registerClientCodecs();
@@ -73,6 +94,13 @@ TcpKvService::optionsFor(NodeId id) const
         // its own records and nobody else's.
         options.wal.path += "/replica" + std::to_string(id) + ".wal";
         options.wal.shard = shardId_;
+        // Recovery under the map LIVE AT REPLAY TIME, not append time: a
+        // replica restarting after a migration cutover still holds log
+        // records for slots its shard no longer owns, and replaying them
+        // would resurrect ownership the slot map took away.
+        options.walRecoveryOwned = [this](Key key) {
+            return slotMap()->ownerOf(key) == shardId_;
+        };
     }
     return options;
 }
@@ -105,6 +133,10 @@ TcpKvService::restartReplica(NodeId id)
 {
     hermes_assert(protocol_ == Protocol::Hermes);
     hermes_assert(!baseOptions_.wal.path.empty());
+    // Serialize against the migration coordinator: it reads replica
+    // stores and injects install jobs from its own thread, and must
+    // never race the handle teardown below.
+    std::lock_guard<std::mutex> admin(adminMutex_);
     if (cluster_.running(id))
         cluster_.crash(id);
 
@@ -169,21 +201,153 @@ TcpKvService::restartReplica(NodeId id)
 void
 TcpKvService::setDeploymentMap(ShardAddressMap map)
 {
-    hermes_assert(map.size() == numShards_);
+    std::lock_guard<std::mutex> guard(mapMutex_);
+    hermes_assert(map.size() == slotMap_->numShards);
     deploymentMap_ = std::move(map);
 }
 
 ShardAddressMap
 TcpKvService::advertisedMap() const
 {
+    std::lock_guard<std::mutex> guard(mapMutex_);
     if (!deploymentMap_.empty())
         return deploymentMap_;
     // Standalone group: all this service can vouch for is itself.
-    ShardAddressMap map(numShards_);
+    ShardAddressMap map(slotMap_->numShards);
     ShardPorts &own = map.at(shardId_);
     for (size_t i = 0; i < replicas_.size(); ++i)
         own.push_back(cluster_.portOf(static_cast<NodeId>(i)));
     return map;
+}
+
+std::shared_ptr<const SlotMap>
+TcpKvService::slotMap() const
+{
+    std::lock_guard<std::mutex> guard(mapMutex_);
+    return slotMap_;
+}
+
+void
+TcpKvService::stampWalEpochs(uint32_t epoch)
+{
+    if (baseOptions_.wal.path.empty())
+        return;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+        auto id = static_cast<NodeId>(i);
+        auto stamp = [this, id, epoch] {
+            if (store::Wal *wal = replicas_[id]->wal())
+                wal->setMapEpoch(epoch);
+        };
+        // A running replica appends from its loop thread, so the stamp
+        // must run there; a crashed (or not-yet-started) one has no
+        // concurrent appender and can be stamped directly.
+        if (cluster_.running(id))
+            cluster_.runOn(id, stamp);
+        else
+            stamp();
+    }
+}
+
+void
+TcpKvService::installMap(const SlotMap &map, ShardAddressMap ports)
+{
+    {
+        std::lock_guard<std::mutex> guard(mapMutex_);
+        hermes_assert(map.epoch >= slotMap_->epoch);
+        slotMap_ = std::make_shared<const SlotMap>(map);
+        deploymentMap_ = std::move(ports);
+    }
+    stampWalEpochs(map.epoch);
+}
+
+void
+TcpKvService::beginMigration(const std::vector<uint32_t> &slots)
+{
+    auto state = std::make_unique<MigrationState>();
+    state->gen = ++migrationGen_;
+    state->moving.assign(kNumSlots, false);
+    for (uint32_t slot : slots)
+        state->moving.at(slot) = true;
+    std::lock_guard<std::mutex> guard(mapMutex_);
+    hermes_assert(!migration_);
+    migration_ = std::move(state);
+}
+
+std::set<Key>
+TcpKvService::takeMigrationDirty()
+{
+    std::lock_guard<std::mutex> guard(mapMutex_);
+    if (!migration_)
+        return {};
+    std::set<Key> dirty;
+    dirty.swap(migration_->dirty);
+    return dirty;
+}
+
+size_t
+TcpKvService::migrationInflight() const
+{
+    std::lock_guard<std::mutex> guard(mapMutex_);
+    return migration_ ? migration_->inflight : 0;
+}
+
+void
+TcpKvService::lockMigration()
+{
+    std::lock_guard<std::mutex> guard(mapMutex_);
+    if (migration_)
+        migration_->locked = true;
+}
+
+void
+TcpKvService::finishMigration(const SlotMap &map, ShardAddressMap ports)
+{
+    std::vector<MigrationState::Parked> parked;
+    {
+        std::lock_guard<std::mutex> guard(mapMutex_);
+        hermes_assert(map.epoch > slotMap_->epoch);
+        slotMap_ = std::make_shared<const SlotMap>(map);
+        deploymentMap_ = std::move(ports);
+        if (migration_) {
+            parked = std::move(migration_->parked);
+            migration_.reset();
+        }
+    }
+    stampWalEpochs(map.epoch);
+    // Answer every parked op with WrongShard + the successor map: the
+    // op was never executed here, and the rejection carries everything
+    // the client needs to re-issue it at the new owner.
+    for (const MigrationState::Parked &p : parked) {
+        if (!cluster_.running(p.node))
+            continue; // its client lost the socket anyway
+        auto &request = static_cast<ClientRequestMsg &>(*p.msg);
+        ClientReplyMsg reply;
+        reply.reqId = request.reqId;
+        reply.shard = request.shard;
+        reply.ok = false;
+        reply.status = ClientReplyMsg::Status::WrongShard;
+        reply.mapShards = map.numShards;
+        reply.mapShard = shardId_;
+        reply.mapEpoch = map.epoch;
+        reply.mapPorts = advertisedMap();
+        reply.slotOwners = map.owner;
+        cluster_.runOn(p.node, [&] {
+            cluster_.replyToClient(p.node, p.conn, reply);
+        });
+    }
+}
+
+bool
+TcpKvService::replicaIsShadow(NodeId id)
+{
+    if (!cluster_.running(id))
+        return true;
+    bool shadow = false;
+    cluster_.runOn(id, [&] {
+        proto::HermesReplica *h = replicas_[id]->hermes();
+        shadow = h != nullptr && h->isShadow();
+    });
+    return shadow;
 }
 
 void
@@ -196,13 +360,20 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     ReplicaHandle &replica = *replicas_[node];
     uint64_t req_id = request.reqId;
     uint32_t shard = request.shard;
+    std::shared_ptr<const SlotMap> map = slotMap();
 
-    // Every reply carries the serving group's shard map (count + id);
-    // HELLO and WrongShard replies additionally carry the full address
-    // map, which is what the client re-resolves its routing from.
-    auto stampMap = [this](ClientReplyMsg &reply) {
-        reply.mapShards = static_cast<uint32_t>(numShards_);
+    // Every reply carries the serving group's shard map (count + id)
+    // and the live map's epoch; HELLO and WrongShard replies
+    // additionally carry the full address map and the slot → owner
+    // table, which is what the client re-resolves its routing from.
+    auto stampMap = [this, map](ClientReplyMsg &reply) {
+        reply.mapShards = map->numShards;
         reply.mapShard = shardId_;
+        reply.mapEpoch = map->epoch;
+    };
+    auto advertise = [this, map](ClientReplyMsg &reply) {
+        reply.mapPorts = advertisedMap();
+        reply.slotOwners = map->owner;
     };
 
     // HELLO negotiation: no register op — the deployment map plus the
@@ -214,9 +385,32 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         reply.reqId = req_id;
         reply.shard = shard;
         stampMap(reply);
-        reply.mapPorts = advertisedMap();
+        advertise(reply);
         reply.credits = cluster_.sessionCreditsOf(node, conn);
         cluster_.replyToClient(node, conn, reply);
+        return;
+    }
+
+    auto rejectWrongShard = [&] {
+        ClientReplyMsg reply;
+        reply.reqId = req_id;
+        reply.shard = shard;
+        reply.ok = false;
+        reply.status = ClientReplyMsg::Status::WrongShard;
+        stampMap(reply);
+        advertise(reply);
+        cluster_.replyToClient(node, conn, reply);
+    };
+
+    // Map-epoch sanity FIRST, before the key is hashed or anything is
+    // indexed with the stamp: an epoch from this service's *future*
+    // (garbage, or a generation it never saw) proves the client and
+    // service disagree about which map is current — serving under it
+    // could split the history. Reject with the authoritative map. An
+    // OLDER epoch is not by itself a rejection: if the stamped owner
+    // still matches below, the slot did not move and the op is served.
+    if (request.mapEpoch > map->epoch) {
+        rejectWrongShard();
         return;
     }
 
@@ -224,22 +418,56 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     // the key is hashed or anything is indexed: (1) the client's shard
     // *count* must agree with ours — a stale or garbage count (0, or
     // another deployment generation) would otherwise alias arbitrary
-    // routes; (2) the stamp must name this group's shard; (3) the key
-    // must hash here under the agreed map. A client failing any of them
-    // gets an explicit rejection carrying the full address map — never
-    // an assert, and never a silently split history.
-    if (request.numShards != numShards_ || shard != shardId_
-            || shardOfKey(request.key, numShards_) != shardId_) {
-        ClientReplyMsg reply;
-        reply.reqId = req_id;
-        reply.shard = shard;
-        reply.ok = false;
-        reply.status = ClientReplyMsg::Status::WrongShard;
-        stampMap(reply);
-        reply.mapPorts = advertisedMap();
-        cluster_.replyToClient(node, conn, reply);
+    // routes; (2) the stamp must name this group's shard; (3) the key's
+    // slot must be OURS under the live ownership map (after a migration
+    // this differs from the uniform hash — a client still routing by
+    // the old placement is redirected to the slot's new owner). A
+    // client failing any of them gets an explicit rejection carrying
+    // the full address map — never an assert, and never a silently
+    // split history.
+    if (request.numShards != map->numShards || shard != shardId_
+            || map->ownerOf(request.key) != shardId_) {
+        rejectWrongShard();
         return;
     }
+
+    // Live-migration interception: ops landing on a mid-move slot.
+    // While the transfer copies (Copy phase), writes and CAS ops are
+    // tracked — dirtied so the catch-up rounds re-copy their key, and
+    // counted until their protocol commit completes. Once the
+    // migration locks, EVERY op on a moving slot parks; the cutover
+    // answers it with WrongShard + the successor map.
+    bool tracked = false;
+    uint64_t gen = 0;
+    {
+        std::lock_guard<std::mutex> guard(mapMutex_);
+        if (migration_ && migration_->moving[slotOfKey(request.key)]) {
+            if (migration_->locked) {
+                migration_->parked.push_back({node, conn, msg});
+                return;
+            }
+            if (request.op != ClientRequestMsg::Op::Read) {
+                migration_->dirty.insert(request.key);
+                ++migration_->inflight;
+                tracked = true;
+                gen = migration_->gen;
+            }
+        }
+    }
+    // Commit-completion hook for tracked ops: re-dirty the key (its
+    // committed value postdates whatever the transfer copied) and
+    // release the in-flight count the locked phase drains on. Runs
+    // BEFORE the client sees the acknowledgement.
+    auto moveDone = [this, key = request.key, tracked, gen] {
+        if (!tracked)
+            return;
+        std::lock_guard<std::mutex> guard(mapMutex_);
+        if (migration_ && migration_->gen == gen) {
+            migration_->dirty.insert(key);
+            if (migration_->inflight > 0)
+                --migration_->inflight;
+        }
+    };
 
     switch (request.op) {
       case ClientRequestMsg::Op::Read:
@@ -259,7 +487,9 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         // slab: handing it down is a refcount bump, and the protocol's
         // own INV/chain/propose encode gathers from the same buffer.
         replica.write(request.key, request.value,
-                      [this, node, conn, req_id, shard, stampMap] {
+                      [this, node, conn, req_id, shard, stampMap,
+                       moveDone] {
+                          moveDone();
                           ClientReplyMsg reply;
                           reply.reqId = req_id;
                           reply.shard = shard;
@@ -269,8 +499,9 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         break;
       case ClientRequestMsg::Op::Cas:
         replica.cas(request.key, request.expected, request.value,
-                    [this, node, conn, req_id, shard,
-                     stampMap](bool ok, const Value &seen) {
+                    [this, node, conn, req_id, shard, stampMap,
+                     moveDone](bool ok, const Value &seen) {
+                        moveDone();
                         ClientReplyMsg reply;
                         reply.reqId = req_id;
                         reply.ok = ok;
@@ -293,7 +524,9 @@ ShardedTcpDeployment::ShardedTcpDeployment(Protocol protocol, size_t shards,
                                            size_t replicas_per_shard,
                                            ReplicaOptions options,
                                            net::TcpConfig config)
-    : replicasPerShard_(replicas_per_shard)
+    : protocol_(protocol), baseOptions_(options), baseConfig_(config),
+      replicasPerShard_(replicas_per_shard),
+      slotMap_(SlotMap::uniform(static_cast<uint32_t>(shards)))
 {
     hermes_assert(shards > 0 && replicas_per_shard > 0);
     for (size_t s = 0; s < shards; ++s) {
@@ -330,6 +563,277 @@ ShardedTcpDeployment::stop()
 {
     for (auto &group : groups_)
         group->stop();
+}
+
+void
+ShardedTcpDeployment::copyKeys(const std::set<Key> &keys, uint32_t from,
+                               uint32_t to,
+                               std::map<Key, Timestamp> &copied)
+{
+    if (keys.empty())
+        return;
+    TcpKvService &src = *groups_[from];
+    TcpKvService &dst = *groups_[to];
+
+    struct Entry
+    {
+        Key key;
+        Value value;
+        Timestamp ts;
+        uint8_t flags;
+    };
+    std::vector<Entry> batch;
+    {
+        // Read phase, under the source's admin lock so a concurrent
+        // restartReplica cannot destroy the handle mid-read. The store
+        // read itself is the seqlocked lock-free path — safe against
+        // the replica's own loop thread writing concurrently.
+        std::lock_guard<std::mutex> admin(src.adminLock());
+        NodeId reader = kInvalidNode;
+        for (size_t r = 0; r < src.numNodes(); ++r) {
+            auto id = static_cast<NodeId>(r);
+            // Never read from a shadow: mid state-transfer its store is
+            // an arbitrary prefix of the group's history and could
+            // teleport stale values onto the destination.
+            if (src.replicaRunning(id) && !src.replicaIsShadow(id)) {
+                reader = id;
+                break;
+            }
+        }
+        if (reader == kInvalidNode)
+            return; // no operational source right now; caller retries
+        for (Key key : keys) {
+            store::ReadResult r = src.replica(reader).kvStore().read(key);
+            if (!r.found)
+                continue;
+            copied[key] = r.meta.ts;
+            batch.push_back({key, r.value, r.meta.ts, r.meta.flags});
+        }
+    }
+    if (batch.empty())
+        return;
+
+    // Install phase: every live destination replica adopts the entries
+    // on its own loop (newest-timestamp-wins, so racing deltas and
+    // re-sends are idempotent). A crashed destination replica is healed
+    // later by its WAL replay + shadow sync from a live peer.
+    std::lock_guard<std::mutex> admin(dst.adminLock());
+    for (size_t r = 0; r < dst.numNodes(); ++r) {
+        auto id = static_cast<NodeId>(r);
+        if (!dst.replicaRunning(id))
+            continue;
+        dst.cluster().runOn(id, [&] {
+            for (const Entry &e : batch)
+                dst.replica(id).applyMigratedEntry(
+                    e.key, ValueRef::copyOf(e.value), e.ts, e.flags);
+        });
+    }
+}
+
+std::set<Key>
+ShardedTcpDeployment::verifyMoving(uint32_t from,
+                                   const std::vector<bool> &moving,
+                                   const std::map<Key, Timestamp> &copied)
+{
+    TcpKvService &src = *groups_[from];
+    std::lock_guard<std::mutex> admin(src.adminLock());
+
+    std::vector<NodeId> sources;
+    for (size_t r = 0; r < src.numNodes(); ++r) {
+        auto id = static_cast<NodeId>(r);
+        if (src.replicaRunning(id) && !src.replicaIsShadow(id))
+            sources.push_back(id);
+    }
+    if (sources.empty())
+        return {};
+
+    // Fresh manifest: keys can appear during the move (first write to a
+    // fresh key in a moving slot), so the scan must not trust the
+    // snapshot-time key list.
+    std::set<Key> keys;
+    for (NodeId id : sources) {
+        src.replica(id).kvStore().forEach(
+            [&](Key key, const store::KeyMeta &, std::string_view) {
+                if (moving[slotOfKey(key)])
+                    keys.insert(key);
+            });
+    }
+
+    // A key passes only when it is Valid on EVERY operational source
+    // replica (no write mid-commit anywhere — by Hermes' invariant an
+    // acknowledged write's value is in every live replica's store, and
+    // until its VAL lands somewhere that somewhere is non-Valid) AND
+    // the stored timestamp is exactly the one the transfer last copied.
+    std::set<Key> stale;
+    for (Key key : keys) {
+        bool ok = true;
+        for (NodeId id : sources) {
+            store::ReadResult r = src.replica(id).kvStore().read(key);
+            if (r.found
+                    && static_cast<proto::KeyState>(r.meta.state)
+                           != proto::KeyState::Valid) {
+                ok = false;
+                break;
+            }
+        }
+        if (ok) {
+            store::ReadResult r =
+                src.replica(sources.front()).kvStore().read(key);
+            auto it = copied.find(key);
+            if (r.found
+                    && (it == copied.end() || !(it->second == r.meta.ts)))
+                ok = false;
+        }
+        if (!ok)
+            stale.insert(key);
+    }
+    return stale;
+}
+
+size_t
+ShardedTcpDeployment::migrateSlots(std::vector<uint32_t> slots,
+                                   uint32_t from, uint32_t to)
+{
+    hermes_assert(from < groups_.size() && to < groups_.size());
+    hermes_assert(from != to);
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    std::erase_if(slots, [&](uint32_t slot) {
+        return slot >= kNumSlots || slotMap_.ownerOfSlot(slot) != from;
+    });
+    if (slots.empty())
+        return 0;
+
+    TcpKvService &src = *groups_[from];
+    std::vector<bool> moving(kNumSlots, false);
+    for (uint32_t slot : slots)
+        moving[slot] = true;
+
+    src.beginMigration(slots);
+
+    // Snapshot: every key currently present in a moving slot, unioned
+    // over the source replicas (a key missing from one replica mid-
+    // write exists on another), copied onto every live destination
+    // replica. Writes racing this re-dirty their key via interception.
+    std::set<Key> manifest;
+    {
+        std::lock_guard<std::mutex> admin(src.adminLock());
+        for (size_t r = 0; r < src.numNodes(); ++r) {
+            auto id = static_cast<NodeId>(r);
+            if (!src.replicaRunning(id))
+                continue;
+            src.replica(id).kvStore().forEach(
+                [&](Key key, const store::KeyMeta &, std::string_view) {
+                    if (moving[slotOfKey(key)])
+                        manifest.insert(key);
+                });
+        }
+    }
+    std::map<Key, Timestamp> copied;
+    copyKeys(manifest, from, to, copied);
+
+    // Catch-up rounds: drain keys re-dirtied by writes that raced the
+    // copy, until the delta is small enough to lock.
+    for (int round = 0; round < 16; ++round) {
+        std::set<Key> dirty = src.takeMigrationDirty();
+        copyKeys(dirty, from, to, copied);
+        if (dirty.size() <= 32)
+            break;
+    }
+
+    // Locked phase: new ops on moving slots park. Give tracked commits
+    // a bounded window to complete — a commit whose replica crashed
+    // mid-flight never calls back, and the verification scan below is
+    // what actually guarantees no acknowledged write is left behind.
+    src.lockMigration();
+    auto inflight_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (src.migrationInflight() > 0
+           && std::chrono::steady_clock::now() < inflight_deadline)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // Final drain + cutover verification: loop until one pass finds no
+    // re-dirtied key AND every moving key is Valid on all operational
+    // source replicas at exactly the last-copied timestamp. The scan
+    // re-copies what it flags, so each round makes progress; Hermes'
+    // replay timer heals keys a crashed coordinator left Invalid.
+    auto verify_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+        std::set<Key> dirty = src.takeMigrationDirty();
+        copyKeys(dirty, from, to, copied);
+        std::set<Key> stale = verifyMoving(from, moving, copied);
+        copyKeys(stale, from, to, copied);
+        if (dirty.empty() && stale.empty())
+            break;
+        if (std::chrono::steady_clock::now() > verify_deadline)
+            break; // best effort under a pathological fault schedule
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+
+    // Cutover: epoch+1 with the moved slots repointed. Destination
+    // first — it must recognize its new ownership before any client is
+    // redirected at it — then the bystander groups, then the source
+    // last via finishMigration, which also answers the parked ops with
+    // WrongShard + this map. Until the source installs it, ops on the
+    // moved slots keep parking there (never serving stale data), so no
+    // window exists in which both groups serve the same slot.
+    SlotMap next = slotMap_.withSlotsMovedTo(slots, to);
+    groups_[to]->installMap(next, map_);
+    for (size_t s = 0; s < groups_.size(); ++s) {
+        if (s != from && s != to)
+            groups_[s]->installMap(next, map_);
+    }
+    src.finishMigration(next, map_);
+    slotMap_ = next;
+    return slots.size();
+}
+
+uint32_t
+ShardedTcpDeployment::addShard()
+{
+    auto s = static_cast<uint32_t>(groups_.size());
+    net::TcpConfig group_config = baseConfig_;
+    group_config.basePort = static_cast<uint16_t>(
+        baseConfig_.basePort + s * replicasPerShard_);
+    ReplicaOptions group_options = baseOptions_;
+    if (!baseOptions_.wal.path.empty())
+        group_options.wal.path += "/shard" + std::to_string(s);
+    groups_.push_back(std::make_unique<TcpKvService>(
+        protocol_, replicasPerShard_, std::move(group_options),
+        group_config, s + 1, s));
+    map_.emplace_back();
+    for (size_t r = 0; r < replicasPerShard_; ++r)
+        map_.back().push_back(groups_[s]->portOf(static_cast<NodeId>(r)));
+
+    // The newcomer owns ZERO slots under the successor map. Install it
+    // on the new group BEFORE it serves (its constructor defaulted to a
+    // uniform map that would claim slots it does not own), then start
+    // it, then teach the incumbents — whose clients keep routing under
+    // the old epoch until a reply advertises the new one.
+    SlotMap next = slotMap_.withShardCount(s + 1);
+    groups_[s]->installMap(next, map_);
+    groups_[s]->start();
+    for (uint32_t g = 0; g < s; ++g)
+        groups_[g]->installMap(next, map_);
+    slotMap_ = next;
+    return s;
+}
+
+void
+ShardedTcpDeployment::removeShard()
+{
+    hermes_assert(groups_.size() > 1);
+    auto s = static_cast<uint32_t>(groups_.size() - 1);
+    hermes_assert(slotMap_.slotsOwnedBy(s).empty()
+                  && "migrate the shard's slots away before removal");
+    groups_.back()->stop();
+    groups_.pop_back();
+    map_.pop_back();
+    SlotMap next = slotMap_.withShardCount(s);
+    for (auto &group : groups_)
+        group->installMap(next, map_);
+    slotMap_ = next;
 }
 
 // ---------------------------------------------------------------------
@@ -370,14 +874,50 @@ KvClient::resolveMapFromSeed()
         adoptMap(static_cast<ClientReplyMsg &>(*reply), /*via_seed=*/true);
 }
 
+uint32_t
+KvClient::routeShard(Key key) const
+{
+    // Slot-indirection routing: once a reply has taught us the owners
+    // table we index it; before that (bootstrap against an old service)
+    // fall back to the legacy uniform hash.
+    if (slotOwners_.size() == kNumSlots)
+        return slotOwners_[slotOfKey(key)];
+    return shardOfKey(key, numShards_ ? numShards_ : 1);
+}
+
 bool
 KvClient::adoptMap(const ClientReplyMsg &reply, bool via_seed)
 {
     if (reply.mapShards == 0)
         return false; // a service that advertises nothing teaches nothing
+    // Strict epoch adoption: a reply stamped with a map OLDER than the
+    // one we already hold is a laggard (e.g. a replica answering just
+    // before it installs a cutover). Believing it would re-route ops to
+    // the migration source and ping-pong. Equal epochs still teach —
+    // independent deployments both sit at epoch 1 and differ only in
+    // shard count / addresses.
+    if (reply.mapEpoch < mapEpoch_)
+        return false;
     bool learned = false;
+    if (reply.mapEpoch > mapEpoch_) {
+        mapEpoch_ = reply.mapEpoch;
+        learned = true;
+    }
+    if (!reply.slotOwners.empty()
+            && reply.slotOwners.size() == kNumSlots
+            && reply.slotOwners != slotOwners_) {
+        slotOwners_ = reply.slotOwners;
+        learned = true;
+    }
     if (reply.mapShards != numShards_) {
         numShards_ = reply.mapShards;
+        if (reply.slotOwners.size() != kNumSlots) {
+            // The shard count changed but this reply carried no owners
+            // table: any cached one indexes the OLD generation and may
+            // name shards that no longer exist. Drop back to hash
+            // routing until a full advertisement arrives.
+            slotOwners_.clear();
+        }
         // Cached per-shard connections were routed by the old map; a
         // shard id means something different now. That includes the
         // seed's remembered shard id: under the new count "shard
@@ -482,9 +1022,10 @@ KvClient::callRerouting(ClientRequestMsg &request, DurationNs timeout)
         if (remaining <= 0)
             return nullptr; // op budget spent mid-reroute
         size_t shards = numShards_ ? numShards_ : 1;
-        uint32_t shard = shardOfKey(request.key, shards);
+        uint32_t shard = routeShard(request.key);
         request.shard = shard;
         request.numShards = static_cast<uint32_t>(shards);
+        request.mapEpoch = mapEpoch_;
         net::TcpClient *conn = connectionFor(shard, deadline);
         if (!conn)
             return nullptr; // no route anywhere (seed gone too)
@@ -507,12 +1048,21 @@ KvClient::callRerouting(ClientRequestMsg &request, DurationNs timeout)
             lastStatus_ = r.status;
             return reply;
         }
+        if (r.mapEpoch < mapEpoch_) {
+            // The rejecting service is BEHIND the map we already
+            // adopted: a cutover installs the successor group by group,
+            // and this group just has not received it yet. That is lag,
+            // not a routing dead end — brief backoff and retry without
+            // burning an attempt (the op deadline still bounds us).
+            --attempt;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            continue;
+        }
         // WrongShard: re-resolve under the freshly adopted map and only
         // loop when that yields a usable route we have not just tried —
         // the reroute targets the owning shard's actual address, it is
         // not a blind same-socket retry.
-        size_t new_shards = numShards_ ? numShards_ : 1;
-        uint32_t new_shard = shardOfKey(request.key, new_shards);
+        uint32_t new_shard = routeShard(request.key);
         bool reachable =
             (seedShardKnown_ && new_shard == seedShard_)
             || (new_shard < addrs_.size() && !addrs_[new_shard].empty());
@@ -758,8 +1308,7 @@ uint64_t
 KvSessionClient::issue(PendingOp op)
 {
     uint64_t token = nextReqId_++;
-    uint32_t shard =
-        shardOfKey(op.key, numShards_ ? numShards_ : 1);
+    uint32_t shard = routeShard(op.key);
     ConnPtr conn = connFor(shard);
     op.conn = conn;
     ops_.emplace(token, std::move(op));
@@ -809,8 +1358,9 @@ KvSessionClient::encodeRequest(uint64_t token, const PendingOp &op,
     msg.op = op.op;
     msg.reqId = token;
     msg.key = op.key;
-    msg.shard = shardOfKey(op.key, shards);
+    msg.shard = routeShard(op.key);
     msg.numShards = static_cast<uint32_t>(shards);
+    msg.mapEpoch = mapEpoch_;
     msg.value = op.value;
     msg.expected = op.expected;
 
@@ -902,13 +1452,35 @@ KvSessionClient::readAndParse(const ConnPtr &conn)
                    conn->rx.begin() + static_cast<long>(off));
 }
 
+uint32_t
+KvSessionClient::routeShard(Key key) const
+{
+    if (slotOwners_.size() == kNumSlots)
+        return slotOwners_[slotOfKey(key)];
+    return shardOfKey(key, numShards_ ? numShards_ : 1);
+}
+
 void
 KvSessionClient::adoptMap(const ClientReplyMsg &reply)
 {
     if (reply.mapShards == 0)
         return;
+    // Strict epoch adoption (same rule as KvClient::adoptMap): a reply
+    // stamped with an older map than the one already adopted is a
+    // laggard and teaches nothing; equal or newer epochs merge.
+    if (reply.mapEpoch < mapEpoch_)
+        return;
+    if (reply.mapEpoch > mapEpoch_)
+        mapEpoch_ = reply.mapEpoch;
+    if (!reply.slotOwners.empty() && reply.slotOwners.size() == kNumSlots
+            && reply.slotOwners != slotOwners_) {
+        slotOwners_ = reply.slotOwners;
+        route_.clear(); // ownership moved: re-resolve conns per slot map
+    }
     if (reply.mapShards != numShards_) {
         numShards_ = reply.mapShards;
+        if (reply.slotOwners.size() != kNumSlots)
+            slotOwners_.clear(); // stale generation's owners table
         // Shard ids mean something different under the new count; the
         // sockets stay up (they multiplex), only the routes re-resolve.
         route_.clear();
@@ -948,15 +1520,18 @@ KvSessionClient::handleReply(const ConnPtr &conn,
         // The synchronous client's reroute loop, unrolled per op: adopt
         // (done above), re-resolve, re-issue the SAME token toward the
         // owning shard — bounded by the op's attempt budget and, via
-        // expireOps, its deadline.
-        if (++op.attempts >= kMaxRouteAttempts) {
+        // expireOps, its deadline. A rejection stamped OLDER than the
+        // adopted epoch is cutover lag (the group has not installed the
+        // successor map yet), not a mis-route: retry without consuming
+        // an attempt, bounded by the op deadline alone.
+        bool laggard = reply.mapEpoch < mapEpoch_;
+        if (!laggard && ++op.attempts >= kMaxRouteAttempts) {
             complete(reply.reqId,
                      OpResult{ClientReplyMsg::Status::RetriesExhausted,
                               true, false, {}});
             return;
         }
-        uint32_t shard =
-            shardOfKey(op.key, numShards_ ? numShards_ : 1);
+        uint32_t shard = routeShard(op.key);
         ConnPtr next = connFor(shard);
         if (!next) {
             complete(reply.reqId,

@@ -22,11 +22,14 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
 #include "app/replica_handle.hh"
+#include "app/slot_map.hh"
 #include "net/client_msgs.hh"
 #include "net/tcp_cluster.hh"
 
@@ -83,6 +86,63 @@ class TcpKvService
      */
     void setDeploymentMap(ShardAddressMap map);
 
+    /** Snapshot of the live versioned slot → shard ownership map. */
+    std::shared_ptr<const SlotMap> slotMap() const;
+
+    /**
+     * Install a successor slot map (strictly newer epoch) together with
+     * the deployment's address map of the same generation, and stamp
+     * every replica's WAL with the new epoch so records appended from
+     * here on carry the ownership generation they were written under.
+     * Called by the deployment coordinator at migration cutover and on
+     * addShard/removeShard; replies stamped after this advertise the
+     * new epoch, which is what clients adopt strictly by version.
+     */
+    void installMap(const SlotMap &map, ShardAddressMap ports);
+
+    // ---- Live-migration hooks (source-group side) ----------------------
+    // Driven by ShardedTcpDeployment::migrateSlots; the service's part is
+    // the request-path interception: while a migration is active, writes
+    // and CAS ops landing on a moving slot are tracked (dirtied for the
+    // catch-up rounds, counted while their protocol commit is in flight),
+    // and once the migration locks, EVERY op on a moving slot parks —
+    // answered only at cutover, with WrongShard + the successor map, so
+    // the client's reroute loop re-issues it at the destination.
+
+    /** Arm interception for @p slots (one migration at a time). */
+    void beginMigration(const std::vector<uint32_t> &slots);
+
+    /** Drain the set of keys re-dirtied by writes racing the transfer. */
+    std::set<Key> takeMigrationDirty();
+
+    /** Tracked write/CAS ops whose protocol commit is still in flight. */
+    size_t migrationInflight() const;
+
+    /** Enter the locked phase: ops on moving slots park from here on. */
+    void lockMigration();
+
+    /**
+     * Cutover: install the successor map and answer every parked op
+     * with WrongShard + that map. Ends the migration.
+     */
+    void finishMigration(const SlotMap &map, ShardAddressMap ports);
+
+    /**
+     * Serializes admin choreography against each other: restartReplica
+     * and the deployment's migration coordinator both hold this while
+     * touching replica handles from outside their loops, so a crash-
+     * restart cannot destroy a handle mid-snapshot-read.
+     */
+    std::mutex &adminLock() { return adminMutex_; }
+
+    /** True while replica @p id 's loop thread is running. */
+    bool replicaRunning(NodeId id) const { return cluster_.running(id); }
+
+    /** Is replica @p id a §3.4 shadow (mid state-transfer)? Queries on
+     *  the replica's loop; a crashed replica counts as shadow (it is
+     *  unusable as a transfer source either way). */
+    bool replicaIsShadow(NodeId id);
+
     /** Port clients should dial for replica @p id. */
     uint16_t portOf(NodeId id) const { return cluster_.portOf(id); }
 
@@ -117,6 +177,8 @@ class TcpKvService
     void drain();
 
   private:
+    struct MigrationState;
+
     void handleClientFrame(NodeId node, net::ClientConnId conn,
                            const std::shared_ptr<net::Message> &msg);
 
@@ -124,8 +186,11 @@ class TcpKvService
     ShardAddressMap advertisedMap() const;
 
     /** Per-replica options: the WAL directory resolved to this
-     *  replica's own log file. */
+     *  replica's own log file, the recovery filter to the live map. */
     ReplicaOptions optionsFor(NodeId id) const;
+
+    /** Stamp every replica's WAL with @p epoch (loop-safe). */
+    void stampWalEpochs(uint32_t epoch);
 
     net::TcpCluster cluster_;
     Protocol protocol_;
@@ -133,7 +198,14 @@ class TcpKvService
     std::vector<std::unique_ptr<ReplicaHandle>> replicas_;
     size_t numShards_;
     uint32_t shardId_;
+    /** Guards slotMap_/deploymentMap_/migration_: read on every replica
+     *  loop's request path, swapped by the coordinator thread. */
+    mutable std::mutex mapMutex_;
+    std::shared_ptr<const SlotMap> slotMap_;
     ShardAddressMap deploymentMap_;
+    std::unique_ptr<MigrationState> migration_;
+    uint64_t migrationGen_ = 0;
+    std::mutex adminMutex_;
 };
 
 /**
@@ -162,6 +234,42 @@ class ShardedTcpDeployment
     size_t replicasPerShard() const { return replicasPerShard_; }
 
     TcpKvService &shard(uint32_t s) { return *groups_.at(s); }
+
+    /** The deployment's live slot → shard ownership map. */
+    const SlotMap &slotMap() const { return slotMap_; }
+
+    /**
+     * Live slot migration over real sockets: move @p slots from shard
+     * @p from to shard @p to while concurrent clients keep operating.
+     * Blocks the calling thread through the whole move — snapshot copy
+     * from a live source replica's seqlocked store onto every live
+     * destination replica, catch-up rounds draining keys re-dirtied by
+     * racing writes, then the locked phase: new ops on moving slots
+     * park, in-flight commits drain, and a verification scan proves
+     * every moving key Valid on all live operational source replicas at
+     * exactly the last-copied timestamp (re-copying stragglers until it
+     * holds). Cutover installs the epoch+1 map destination-first and
+     * answers parked ops with WrongShard + that map, which the client
+     * reroute loop turns into a retry at the new owner. Safe to run
+     * against concurrent restartReplica on either group. Slots not
+     * owned by @p from are ignored. @return slots actually moved.
+     */
+    size_t migrateSlots(std::vector<uint32_t> slots, uint32_t from,
+                        uint32_t to);
+
+    /**
+     * Grow the deployment: start a new replica group serving a brand-new
+     * shard id that owns ZERO slots (epoch+1 map installed everywhere).
+     * Ports continue the deployment's contiguous lanes. Data moves only
+     * when a subsequent migrateSlots hands it slots. @return the id.
+     */
+    uint32_t addShard();
+
+    /**
+     * Shrink: stop and remove the highest-id group, which must own no
+     * slots (migrate them away first); installs the epoch+1 map.
+     */
+    void removeShard();
 
     /** Port of @p shard 's @p replica -th node. */
     uint16_t
@@ -198,9 +306,31 @@ class ShardedTcpDeployment
     }
 
   private:
+    /**
+     * Copy every key of @p keys from a live non-shadow replica of
+     * @p from onto every live replica of @p to, recording the copied
+     * timestamp per key in @p copied (the cutover verification bar).
+     */
+    void copyKeys(const std::set<Key> &keys, uint32_t from, uint32_t to,
+                  std::map<Key, Timestamp> &copied);
+
+    /**
+     * Verification scan: keys in @p moving slots that are non-Valid on
+     * some live operational source replica, or whose store timestamp
+     * disagrees with the last copy — i.e. committed writes the transfer
+     * has not carried over yet. Empty = safe to cut over.
+     */
+    std::set<Key> verifyMoving(uint32_t from,
+                               const std::vector<bool> &moving,
+                               const std::map<Key, Timestamp> &copied);
+
+    Protocol protocol_;
+    ReplicaOptions baseOptions_;
+    net::TcpConfig baseConfig_;
     size_t replicasPerShard_;
     std::vector<std::unique_ptr<TcpKvService>> groups_;
     ShardAddressMap map_;
+    SlotMap slotMap_;
 };
 
 /**
@@ -266,6 +396,24 @@ class KvClient
     /** The client's current shard → address map (HELLO/WrongShard fed). */
     const ShardAddressMap &addressMap() const { return addrs_; }
 
+    /** Epoch of the slot map the client has adopted (0 = none yet). */
+    uint32_t mapEpoch() const { return mapEpoch_; }
+
+    /** The shard this client would route @p key to right now. */
+    uint32_t routedShard(Key key) const { return routeShard(key); }
+
+    /**
+     * Test hook: feed an advertised map exactly as a reply would.
+     * @return whether anything was adopted — false for a reply whose
+     * epoch is OLDER than the client's (the strict-adoption rule: a
+     * delayed advertisement must never roll routing back).
+     */
+    bool
+    adoptAdvertisedMap(const net::ClientReplyMsg &reply)
+    {
+        return adoptMap(reply, /*via_seed=*/false);
+    }
+
   private:
     /** Stamp + send with bounded re-resolve-and-reroute on WrongShard. */
     std::shared_ptr<net::Message>
@@ -290,6 +438,10 @@ class KvClient
                                          net::ClientRequestMsg &request,
                                          DurationNs timeout);
 
+    /** Route @p key: by adopted slot-owner table when one is held (it
+     *  reflects migrations), else by the uniform shardOfKey hash. */
+    uint32_t routeShard(Key key) const;
+
     uint16_t seedPort_;
     std::unique_ptr<net::TcpClient> seed_;
     bool seedShardKnown_ = false;
@@ -297,6 +449,8 @@ class KvClient
     std::map<uint32_t, std::unique_ptr<net::TcpClient>> conns_;
     ShardAddressMap addrs_;
     size_t numShards_ = 1;
+    uint32_t mapEpoch_ = 0;           ///< adopted map version (0 = none)
+    std::vector<uint16_t> slotOwners_; ///< adopted slot → shard table
     uint64_t nextReqId_ = 1;
     net::ClientReplyMsg::Status lastStatus_ =
         net::ClientReplyMsg::Status::Ok;
@@ -390,6 +544,16 @@ class KvSessionClient
     size_t numShards() const { return numShards_; }
     const ShardAddressMap &addressMap() const { return addrs_; }
 
+    /** Epoch of the slot map the session has adopted (0 = none yet). */
+    uint32_t mapEpoch() const { return mapEpoch_; }
+
+    /** Test hook: feed an advertised map exactly as a reply would (the
+     *  strict-adoption rule discards epochs older than adopted). */
+    void adoptAdvertisedMap(const net::ClientReplyMsg &reply)
+    {
+        adoptMap(reply);
+    }
+
     /** Every live socket fd — for an external epoll/poll loop driving
      *  many sessions (call progress() on readiness). */
     std::vector<int> fds() const;
@@ -440,6 +604,8 @@ class KvSessionClient
     void handleReply(const ConnPtr &conn,
                      const net::ClientReplyMsg &reply);
     void adoptMap(const net::ClientReplyMsg &reply);
+    /** Route @p key by the adopted slot-owner table, else hash. */
+    uint32_t routeShard(Key key) const;
     void markDead(const ConnPtr &conn);
     void complete(uint64_t token, OpResult result);
     void expireOps(TimeNs now);
@@ -454,6 +620,8 @@ class KvSessionClient
     std::map<uint32_t, ConnPtr> route_;      ///< shard -> connection
     ShardAddressMap addrs_;
     size_t numShards_ = 1;
+    uint32_t mapEpoch_ = 0;            ///< adopted map version (0 = none)
+    std::vector<uint16_t> slotOwners_; ///< adopted slot → shard table
     uint64_t nextReqId_ = 1; ///< per-session sequence numbers
     std::map<uint64_t, PendingOp> ops_;      ///< in flight or queued
     std::map<uint64_t, OpResult> results_;   ///< completed, not taken

@@ -13,6 +13,7 @@ registerClientCodecs()
         msg->key = reader.getU64();
         msg->shard = reader.getU32();
         msg->numShards = reader.getU32();
+        msg->mapEpoch = reader.getU32();
         msg->value = reader.getValue();
         msg->expected = reader.getValue();
         return msg;
@@ -41,6 +42,17 @@ registerClientCodecs()
                     msg->mapPorts[s].push_back(reader.getU16());
             }
         } else if (shards != 0) {
+            return std::shared_ptr<ClientReplyMsg>();
+        }
+        msg->mapEpoch = reader.getU32();
+        uint16_t owners = reader.getU16();
+        // Same bytes-present bound as mapPorts: a corrupt count cannot
+        // balloon the allocation past the frame.
+        if (2ull * owners <= reader.remaining()) {
+            msg->slotOwners.reserve(owners);
+            for (uint16_t i = 0; i < owners; ++i)
+                msg->slotOwners.push_back(reader.getU16());
+        } else if (owners != 0) {
             return std::shared_ptr<ClientReplyMsg>();
         }
         msg->value = reader.getValue();

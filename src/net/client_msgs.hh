@@ -66,12 +66,24 @@ struct ClientRequestMsg : Message
      * bogus stamp can never index anything service-side.
      */
     uint32_t numShards = 1;
+    /**
+     * Epoch of the slot map the client routed with (0 = no map adopted,
+     * a legacy/fresh client). Validated BEFORE anything indexes with it:
+     * a stamp from the service's *future* (garbage, or a generation this
+     * service never saw) is rejected up front with WrongShard + the
+     * current authoritative map. An *older* epoch is not by itself a
+     * rejection — if the stamped owner still matches, the slot did not
+     * move and the op is served (migrations must not invalidate every
+     * client's routing for untouched slots).
+     */
+    uint32_t mapEpoch = 0;
     ValueRef value;    ///< write value / CAS desired
     ValueRef expected; ///< CAS expected
 
     size_t payloadSize() const override
     {
-        return 1 + 8 + 8 + 4 + 4 + 4 + value.size() + 4 + expected.size();
+        return 1 + 8 + 8 + 4 + 4 + 4 + 4 + value.size() + 4
+               + expected.size();
     }
 
     size_t valueBytes() const override
@@ -87,6 +99,7 @@ struct ClientRequestMsg : Message
         writer.putU64(key);
         writer.putU32(shard);
         writer.putU32(numShards);
+        writer.putU32(mapEpoch);
         writer.putValue(value);
         writer.putValue(expected);
     }
@@ -149,6 +162,22 @@ struct ClientReplyMsg : Message
      * service fills only its own entry.
      */
     ShardAddressMap mapPorts;
+    /**
+     * Epoch of the slot map this service is serving under, stamped on
+     * EVERY reply (cheap: one u32). Clients adopt advertised maps
+     * strictly by this version — a delayed reply carrying an older map
+     * is discarded instead of rolling the client's routing back.
+     */
+    uint32_t mapEpoch = 0;
+    /**
+     * Slot → owning-shard table of the advertised map. Populated on
+     * HELLO replies and WrongShard rejections only (empty on the data
+     * path: 2 KiB would dwarf a 32 B value); either empty or exactly
+     * kNumSlots entries. A client holding the table routes by slot
+     * ownership, which after a migration differs from the uniform
+     * shardOfKey placement.
+     */
+    std::vector<uint16_t> slotOwners;
     ValueRef value;  ///< read result / CAS observed value
 
     size_t payloadSize() const override
@@ -156,7 +185,8 @@ struct ClientReplyMsg : Message
         size_t map_bytes = 2;
         for (const ShardPorts &ports : mapPorts)
             map_bytes += 2 + 2 * ports.size();
-        return 8 + 1 + 1 + 4 + 4 + 4 + 4 + map_bytes + 4 + value.size();
+        return 8 + 1 + 1 + 4 + 4 + 4 + 4 + map_bytes + 4 + 2
+               + 2 * slotOwners.size() + 4 + value.size();
     }
 
     size_t valueBytes() const override { return value.size(); }
@@ -177,6 +207,10 @@ struct ClientReplyMsg : Message
             for (uint16_t port : ports)
                 writer.putU16(port);
         }
+        writer.putU32(mapEpoch);
+        writer.putU16(static_cast<uint16_t>(slotOwners.size()));
+        for (uint16_t owner : slotOwners)
+            writer.putU16(owner);
         writer.putValue(value);
     }
 };

@@ -82,6 +82,7 @@ kindName(FaultEvent::Kind kind)
       case FaultEvent::Kind::Delay: return "delay";
       case FaultEvent::Kind::Crash: return "crash";
       case FaultEvent::Kind::Restart: return "restart";
+      case FaultEvent::Kind::Migrate: return "migrate";
     }
     return "?";
 }
@@ -89,7 +90,7 @@ kindName(FaultEvent::Kind kind)
 bool
 kindFromName(const std::string &name, FaultEvent::Kind &kind)
 {
-    for (int k = 0; k <= static_cast<int>(FaultEvent::Kind::Restart); ++k) {
+    for (int k = 0; k <= static_cast<int>(FaultEvent::Kind::Migrate); ++k) {
         if (name == kindName(static_cast<FaultEvent::Kind>(k))) {
             kind = static_cast<FaultEvent::Kind>(k);
             return true;
@@ -174,6 +175,17 @@ randomEvent(Rng &rng, const Schedule &s)
         e.duration = rng.nextRange(2, 10) * 1_ms;
         e.p = 0.1 + 0.3 * rng.nextDouble();
         e.meanNs = 500_us + rng.nextBounded(4500_us);
+    } else if (s.shards > 1 && roll < 0.82) {
+        // Elastic churn: move a fraction of one shard's slots to
+        // another shard, live, while the workload races the transfer.
+        // Only drawn on multi-shard schedules, so single-shard RNG
+        // sequences are unchanged.
+        e.kind = FaultEvent::Kind::Migrate;
+        e.src = static_cast<uint32_t>(rng.nextBounded(s.shards));
+        e.dst = (e.src + 1
+                 + static_cast<uint32_t>(rng.nextBounded(s.shards - 1)))
+                % s.shards;
+        e.p = 0.1 + 0.8 * rng.nextDouble();
     } else {
         // Process faults follow the durability policy: durable schedules
         // exercise WAL crash-restarts with the RM off (the §3.4
@@ -216,7 +228,9 @@ shardsCovered(const Schedule &s)
  * clamp node references, guarantee every shard a non-empty key slice,
  * cap partitions at one (overlapping heals would race), space Restart
  * events so a rejoin's state transfer finishes before the next one
- * targets the group, keep events time-sorted.
+ * targets the group, repair Migrate events into a valid distinct shard
+ * pair (dropped entirely on single-shard shapes), keep events
+ * time-sorted.
  */
 void
 normalizeSchedule(Schedule &s)
@@ -232,6 +246,21 @@ normalizeSchedule(Schedule &s)
     std::vector<FaultEvent> kept;
     bool have_partition = false;
     for (FaultEvent &e : s.events) {
+        if (e.kind == FaultEvent::Kind::Migrate) {
+            // src/dst are SHARD ids on Migrate events; mutations may
+            // have scribbled node ids or wildcards into them. Repair to
+            // a valid distinct pair, or drop on single-shard shapes.
+            if (s.shards < 2)
+                continue;
+            e.src = e.src == FaultEvent::kAnyNode ? 0 : e.src % s.shards;
+            e.dst = e.dst == FaultEvent::kAnyNode ? 1 : e.dst % s.shards;
+            if (e.src == e.dst)
+                e.dst = (e.src + 1) % s.shards;
+            if (!(e.p > 0.0) || e.p > 1.0)
+                e.p = 0.5;
+            kept.push_back(e);
+            continue;
+        }
         if (e.node >= total)
             e.node %= total;
         if (e.src != FaultEvent::kAnyNode && e.src >= total)
@@ -301,6 +330,9 @@ enum class Feature : uint32_t
     WalTornBytes,
     DropByType,
     LinPending,
+    SlotsMigrated,
+    MigrationsCompleted,
+    MigrationWritesParked,
 };
 
 /** log2 bucket: collapses raw counts so coverage saturates, not churns. */
@@ -431,6 +463,10 @@ serializeSchedule(const Schedule &s)
           case FaultEvent::Kind::Crash:
           case FaultEvent::Kind::Restart:
             out << " node=" << e.node;
+            break;
+          case FaultEvent::Kind::Migrate:
+            out << " src=" << e.src << " dst=" << e.dst
+                << " p=" << formatDouble(e.p);
             break;
         }
         out << '\n';
@@ -687,6 +723,9 @@ mutateSchedule(const Schedule &parent, uint32_t choice)
                 e.node = static_cast<uint32_t>(
                     rng.nextBounded(s.totalNodes()));
                 break;
+              case FaultEvent::Kind::Migrate:
+                e.p = 0.1 + 0.8 * rng.nextDouble();
+                break;
             }
         }
         break;
@@ -895,6 +934,33 @@ runSchedule(const Schedule &s, const ExplorerConfig &cfg)
             });
             break;
           }
+          case FaultEvent::Kind::Migrate: {
+            // Fire-time guard (deterministic): one migration at a time,
+            // both shards valid and distinct, source actually owning
+            // slots. Slot selection is a pure function of the live map:
+            // the first ceil(p * owned) slots owned by src.
+            uint32_t src = e.src;
+            uint32_t dst = e.dst;
+            double frac = e.p;
+            events.scheduleAt(e.at, [&cluster, src, dst, frac] {
+                if (cluster.migrationActive())
+                    return;
+                uint32_t shards =
+                    static_cast<uint32_t>(cluster.numShards());
+                if (src == dst || src >= shards || dst >= shards)
+                    return;
+                std::vector<uint32_t> slots =
+                    cluster.slotMap().slotsOwnedBy(src);
+                if (slots.empty())
+                    return;
+                size_t take = static_cast<size_t>(
+                    frac * static_cast<double>(slots.size()));
+                take = std::min(std::max<size_t>(take, 1), slots.size());
+                slots.resize(take);
+                cluster.migrateSlots(std::move(slots), src, dst);
+            });
+            break;
+          }
         }
     }
     if (!windows->empty()) {
@@ -971,6 +1037,9 @@ runSchedule(const Schedule &s, const ExplorerConfig &cfg)
     out.readsStalled = agg.readsStalled;
     out.crashes = cluster.runtime().crashCount();
     out.restarts = cluster.runtime().restartCount();
+    out.slotsMigrated = cluster.slotsMigrated();
+    out.migrationsCompleted = cluster.migrationsCompleted();
+    out.migrationWritesParked = cluster.migrationWritesParked();
 
     addFeature(out.coverage, Feature::ReadsStalled, agg.readsStalled);
     addFeature(out.coverage, Feature::ReplaysStarted, agg.replaysStarted);
@@ -995,6 +1064,11 @@ runSchedule(const Schedule &s, const ExplorerConfig &cfg)
                out.walRecordsRecovered);
     addFeature(out.coverage, Feature::WalTornBytes, out.walTornBytes);
     addFeature(out.coverage, Feature::LinPending, pending);
+    addFeature(out.coverage, Feature::SlotsMigrated, out.slotsMigrated);
+    addFeature(out.coverage, Feature::MigrationsCompleted,
+               out.migrationsCompleted);
+    addFeature(out.coverage, Feature::MigrationWritesParked,
+               out.migrationWritesParked);
     const std::vector<uint64_t> &drops = net.dropsByType();
     for (size_t t = 0; t < drops.size(); ++t) {
         if (drops[t]) {

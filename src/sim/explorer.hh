@@ -7,7 +7,8 @@
  * A *schedule* is a complete, self-contained scenario: cluster shape,
  * durability knobs, a named workload mix, and a list of timed fault
  * events (targeted drops, partitions, duplication/loss/heavy-tail-delay
- * bursts, crashes, WAL crash-restarts). Every schedule is reproducible
+ * bursts, crashes, WAL crash-restarts, live slot migrations between
+ * shards). Every schedule is reproducible
  * from its `(base seed, mutation path)` identity alone, and serializes
  * to a small text file that replays byte-identically — which is what
  * lets a shrunk failure become a checked-in regression seed
@@ -51,6 +52,7 @@ struct FaultEvent
         Delay,     ///< heavy-tail delay-spike burst
         Crash,     ///< crash-stop a node (permanent; the RM excises it)
         Restart,   ///< crash-restart a node through its WAL (§3.4 rejoin)
+        Migrate,   ///< live slot migration between shards (elastic move)
     };
 
     /** Wildcard for src/dst in Drop events. */
@@ -61,9 +63,9 @@ struct FaultEvent
     DurationNs duration = 0; ///< burst/partition length (Crash/Restart: 0)
     uint32_t node = 0;       ///< Crash/Restart target
     uint64_t mask = 0;       ///< Drop: DropClass bits; Partition: node bits
-    uint32_t src = kAnyNode; ///< Drop: source filter
-    uint32_t dst = kAnyNode; ///< Drop: destination filter
-    double p = 0.0;          ///< probability knob for bursts
+    uint32_t src = kAnyNode; ///< Drop: source filter; Migrate: source shard
+    uint32_t dst = kAnyNode; ///< Drop: dest filter; Migrate: dest shard
+    double p = 0.0;          ///< bursts: probability; Migrate: slot fraction
     DurationNs meanNs = 0;   ///< Delay: extra exponential mean
 };
 
@@ -171,6 +173,9 @@ struct RunOutcome
     uint64_t walTornBytes = 0;
     uint64_t crashes = 0;
     uint64_t restarts = 0;
+    uint64_t slotsMigrated = 0;
+    uint64_t migrationsCompleted = 0;
+    uint64_t migrationWritesParked = 0;
 };
 
 /** A found-and-shrunk linearizability violation. */

@@ -145,7 +145,8 @@ Wal::append(Key key, Timestamp ts, uint8_t flags, const ValueRef &value)
     leStore32(payload_header + 12, ts.version);
     leStore32(payload_header + 16, ts.cid);
     payload_header[20] = flags;
-    leStore32(payload_header + 21, static_cast<uint32_t>(value.size()));
+    leStore32(payload_header + 21, mapEpoch_);
+    leStore32(payload_header + 25, static_cast<uint32_t>(value.size()));
 
     uint32_t crc = crc32Update(crc32Init(), payload_header,
                                sizeof(payload_header));
@@ -291,7 +292,7 @@ Wal::scan(const std::string &path)
         const uint8_t *payload = buf.data() + off + kFrameHeaderBytes;
         if (crc32(payload, payload_len) != crc)
             break; // bit rot or a torn multi-sector write
-        uint32_t value_len = leLoad32(payload + 21);
+        uint32_t value_len = leLoad32(payload + 25);
         if (value_len != payload_len - kPayloadHeaderBytes)
             break; // internally inconsistent (CRC collision territory)
         WalRecord rec;
@@ -300,6 +301,7 @@ Wal::scan(const std::string &path)
         rec.ts.version = leLoad32(payload + 12);
         rec.ts.cid = leLoad32(payload + 16);
         rec.flags = payload[20];
+        rec.mapEpoch = leLoad32(payload + 21);
         rec.value.assign(
             reinterpret_cast<const char *>(payload) + kPayloadHeaderBytes,
             value_len);

@@ -12,15 +12,23 @@
  * same discipline as the wire format in common/serialize.hh):
  *
  *     offset  size  field
- *     0       u32   payload length (= 25 + value length)
+ *     0       u32   payload length (= 29 + value length)
  *     4       u32   CRC32 (IEEE 802.3, reflected) of the payload bytes
  *     8       u32   shard id                   ─┐
  *     12      u64   key                         │
- *     20      u32   timestamp.version           │ payload
- *     24      u32   timestamp.cid               │
+ *     20      u32   timestamp.version           │
+ *     24      u32   timestamp.cid               │ payload
  *     28      u8    flags (bit 0: RMW)          │
- *     29      u32   value length                │
- *     33      ...   value bytes                ─┘
+ *     29      u32   slot-map epoch at append    │
+ *     33      u32   value length                │
+ *     37      ...   value bytes                ─┘
+ *
+ * The slot-map epoch stamp is what makes recovery elastic-sharding
+ * aware: a record appended before a migration cutover may describe a
+ * key whose slot has since moved to another shard, and replaying it
+ * here would resurrect ownership the map took away. Recovery filters
+ * records against the *current* map (see ReplicaHandle::replayWal);
+ * the epoch tag records which generation wrote each record.
  *
  * Appends stage into a scatter/gather WireFrame (values above
  * kZeroCopyThreshold ride as ValueRef segments — no copy between the KVS
@@ -114,6 +122,8 @@ struct WalRecord
     Key key = 0;
     Timestamp ts{};
     uint8_t flags = 0;
+    /** Slot-map epoch the replica served under when this was appended. */
+    uint32_t mapEpoch = 0;
     Value value;
 };
 
@@ -149,7 +159,7 @@ class Wal
 {
   public:
     /** Fixed payload bytes before the value (shard..valueLen fields). */
-    static constexpr size_t kPayloadHeaderBytes = 25;
+    static constexpr size_t kPayloadHeaderBytes = 29;
     /** Record framing overhead (length prefix + CRC word). */
     static constexpr size_t kFrameHeaderBytes = 8;
 
@@ -177,6 +187,14 @@ class Wal
 
     /** Cost-model charge hook (sim: Env::chargeCpu). */
     void setChargeFn(std::function<void(DurationNs)> fn);
+
+    /**
+     * Slot-map epoch stamped into subsequent records. Updated from the
+     * replica's own loop/job context at migration cutover, same
+     * single-writer discipline as append().
+     */
+    void setMapEpoch(uint32_t epoch) { mapEpoch_ = epoch; }
+    uint32_t mapEpoch() const { return mapEpoch_; }
 
     const WalStats &stats() const { return stats_; }
     const WalConfig &config() const { return config_; }
@@ -210,6 +228,7 @@ class Wal
     void fsyncNow();
 
     WalConfig config_;
+    uint32_t mapEpoch_ = 1;
     int fd_ = -1;
     WireFrame frame_; ///< group-commit queue (staging + value segments)
     std::function<void(DurationNs)> chargeFn_;

@@ -131,6 +131,68 @@ TEST(Explorer, CoverageSignalsReactToFaults)
     EXPECT_GT(loud.maxEpoch, 1u); // the crash forced a reconfiguration
 }
 
+TEST(Explorer, MigrateEventRoundTripsAndReplaysDeterministically)
+{
+    // A two-shard schedule with a live slot migration racing the
+    // workload: the event must serialize canonically, fire at its
+    // scheduled time (slots actually move), keep the history
+    // linearizable across the ownership change, and replay
+    // byte-identically.
+    Schedule s = handBuilt(false);
+    s.shards = 2;
+    s.numKeys = 64;
+    s.events.clear();
+
+    FaultEvent m;
+    m.kind = FaultEvent::Kind::Migrate;
+    m.at = 4_ms;
+    m.src = 0;
+    m.dst = 1;
+    m.p = 0.5;
+    s.events.push_back(m);
+
+    std::string text = serializeSchedule(s);
+    std::string error;
+    std::optional<Schedule> parsed = parseSchedule(text, &error);
+    ASSERT_TRUE(parsed) << error;
+    EXPECT_EQ(serializeSchedule(*parsed), text);
+
+    ExplorerConfig cfg;
+    RunOutcome first = runSchedule(s, cfg);
+    RunOutcome second = runSchedule(s, cfg);
+    ASSERT_GT(first.opsTotal, 0u);
+    EXPECT_TRUE(first.lin.ok()) << first.lin.detail;
+    EXPECT_EQ(first.migrationsCompleted, 1u);
+    EXPECT_EQ(first.slotsMigrated, app::kNumSlots / 2 / 2); // half of 0's
+    EXPECT_EQ(first.historyDigest, second.historyDigest);
+    EXPECT_EQ(first.coverage, second.coverage);
+}
+
+TEST(Explorer, GeneratedMigrateEventsAreAlwaysValid)
+{
+    // Migrate events only appear on multi-shard schedules, and always
+    // name a valid, distinct (src, dst) shard pair with a usable slot
+    // fraction — generation, mutation, and normalization included.
+    size_t seen = 0;
+    for (uint64_t seed = 1; seed <= 60; ++seed) {
+        Schedule s = generateSchedule(seed);
+        for (uint32_t c = 0; c < 4; ++c)
+            s = mutateSchedule(s, seed * 31 + c);
+        for (const FaultEvent &e : s.events) {
+            if (e.kind != FaultEvent::Kind::Migrate)
+                continue;
+            ++seen;
+            EXPECT_GT(s.shards, 1u);
+            EXPECT_LT(e.src, s.shards);
+            EXPECT_LT(e.dst, s.shards);
+            EXPECT_NE(e.src, e.dst);
+            EXPECT_GT(e.p, 0.0);
+            EXPECT_LE(e.p, 1.0);
+        }
+    }
+    EXPECT_GT(seen, 0u); // the generator does reach the new event class
+}
+
 TEST(Explorer, SelfTestFindsPlantedBugAndShrinksIt)
 {
     // The acceptance gate of the whole harness: with the

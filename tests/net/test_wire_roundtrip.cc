@@ -272,6 +272,7 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     req.key = 11;
     req.shard = 6;
     req.numShards = 8;
+    req.mapEpoch = 0xDEADBEEFu;
     req.value = "desired";
     req.expected = "expected";
     auto outReq = roundTrip(stampEnvelope(req));
@@ -280,6 +281,9 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     EXPECT_EQ(outReq.key, 11u);
     EXPECT_EQ(outReq.shard, 6u);
     EXPECT_EQ(outReq.numShards, 8u);
+    EXPECT_EQ(outReq.mapEpoch, 0xDEADBEEFu)
+        << "the client's map-epoch stamp is a full u32 on the wire — the "
+           "future-epoch rejection depends on garbage surviving intact";
     EXPECT_EQ(outReq.value, "desired");
     EXPECT_EQ(outReq.expected, "expected");
 
@@ -292,6 +296,8 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     reply.mapShard = 2;
     reply.credits = 96;
     reply.mapPorts = {{17000, 17001, 17002}, {}, {17006}, {17009}};
+    reply.mapEpoch = 3;
+    reply.slotOwners = {3, 1, 2, 0, 3, 3};
     reply.value = "observed";
     auto outReply = roundTrip(stampEnvelope(reply));
     EXPECT_EQ(outReply.reqId, 42u);
@@ -305,13 +311,18 @@ TEST(WireRoundTrip, ClientRequestAndReply)
     EXPECT_EQ(outReply.mapPorts, reply.mapPorts)
         << "the shard->address map must survive the wire: it is what a "
            "misrouted client re-routes from";
+    EXPECT_EQ(outReply.mapEpoch, 3u);
+    EXPECT_EQ(outReply.slotOwners, reply.slotOwners)
+        << "the slot->owner table must survive the wire: it is what a "
+           "client routes by after a migration";
     EXPECT_EQ(outReply.value, "observed");
 
-    // The lean data-path shape (no address map) round-trips too.
+    // The lean data-path shape (no address map, no owners) round-trips.
     net::ClientReplyMsg lean;
     lean.reqId = 7;
     auto outLean = roundTrip(stampEnvelope(lean));
     EXPECT_TRUE(outLean.mapPorts.empty());
+    EXPECT_TRUE(outLean.slotOwners.empty());
 }
 
 TEST(WireRoundTrip, ClientShardIdExtremesSurvive)

@@ -58,7 +58,7 @@ putLe64(std::vector<unsigned char> &out, uint64_t v)
 /** The frozen on-disk encoding of one record, built by hand. */
 std::vector<unsigned char>
 encodeRecord(uint32_t shard, Key key, Timestamp ts, uint8_t flags,
-             std::string_view value)
+             std::string_view value, uint32_t map_epoch = 1)
 {
     std::vector<unsigned char> payload;
     putLe32(payload, shard);
@@ -66,6 +66,7 @@ encodeRecord(uint32_t shard, Key key, Timestamp ts, uint8_t flags,
     putLe32(payload, ts.version);
     putLe32(payload, ts.cid);
     payload.push_back(flags);
+    putLe32(payload, map_epoch);
     putLe32(payload, static_cast<uint32_t>(value.size()));
     payload.insert(payload.end(), value.begin(), value.end());
 
@@ -118,14 +119,17 @@ TEST(WalFormat, GoldenBytesFreezeRecordLayout)
         encodeRecord(2, 0x1122334455667788ull, Timestamp{7, 3}, 0x01,
                      "hello");
     // Spot-check the literal layout too, so the helper can't drift in
-    // lockstep with the implementation: 30-byte payload, then the
-    // key bytes little-endian at payload offset 4.
+    // lockstep with the implementation: 34-byte payload, then the
+    // key bytes little-endian at payload offset 4. (The payload grew
+    // from 30 to 34 bytes when the slot-map epoch stamp landed at
+    // payload offset 21 — a deliberate, versioned format change.)
     ASSERT_EQ(expect.size(), Wal::kFrameHeaderBytes
                                  + Wal::kPayloadHeaderBytes + 5);
-    EXPECT_EQ(expect[0], 30u); // payloadLen LSB = 25 + strlen("hello")
+    EXPECT_EQ(expect[0], 34u); // payloadLen LSB = 29 + strlen("hello")
     EXPECT_EQ(expect[8], 2u);  // shard LSB right after the CRC word
     EXPECT_EQ(expect[12], 0x88u); // key LSB, little-endian
     EXPECT_EQ(expect[19], 0x11u); // key MSB
+    EXPECT_EQ(expect[29], 1u); // slot-map epoch LSB at payload offset 21
     EXPECT_EQ(fileBytes(path), expect);
 }
 

@@ -64,6 +64,9 @@ describe(const sim::RunOutcome &o)
         << " crashes=" << o.crashes << " restarts=" << o.restarts;
     if (o.walRecordsRecovered)
         out << " wal-recovered=" << o.walRecordsRecovered;
+    if (o.slotsMigrated)
+        out << " slots-migrated=" << o.slotsMigrated
+            << " migrations=" << o.migrationsCompleted;
     if (!o.lin.detail.empty())
         out << "\n  " << o.lin.detail;
     return out.str();
