@@ -18,12 +18,14 @@ shardOfKey(Key key, size_t num_shards)
         return 0; // also the 0 = unknown-map degenerate case: never % 0
     // Key → slot → shard: the uniform (epoch-1) SlotMap placement, as a
     // pure function of (key, numShards) so every client and every node
-    // computes the same owner with no coordination. Because kNumSlots is
-    // a multiple of every deployed shard count, `slot % S` equals the
-    // legacy direct `splitmix64(key) % S` — golden shard expectations
-    // and recorded histories are unchanged. Deployments whose ownership
-    // has diverged from uniform (post-migration) route through their
-    // live SlotMap instead of this static default.
+    // computes the same owner with no coordination. For POWER-OF-TWO
+    // shard counts (S | kNumSlots) `slot % S` equals the legacy direct
+    // `splitmix64(key) % S`, so the golden shard expectations and
+    // recorded histories — all at such counts — are unchanged; other
+    // counts get a consistent but different placement (see kNumSlots).
+    // Deployments whose ownership has diverged from uniform
+    // (post-migration) route through their live SlotMap instead of this
+    // static default.
     return slotOfKey(key) % num_shards;
 }
 
@@ -510,9 +512,14 @@ SimCluster::forwardKeyToShard(Key key, uint32_t src, uint32_t dst,
         break;
     }
     if (reader == kInvalidNode) {
-        // Whole source group down mid-move: nothing to read. The data is
-        // in the source WALs; a later crashRestartNode heals it. The
-        // migration keeps going so the sim never wedges.
+        // No operational source replica right now: nothing can be read.
+        // The copy is skipped — NOT silently forgotten: the cutover bar
+        // is migrationQuiesced()'s verification scan, which refuses to
+        // pass while no operational source exists, and the bounded
+        // Locked-phase wait then ABORTS the migration rather than cut
+        // over (moving ownership would strand the source's WAL-only
+        // records behind the recovery ownership filter — acknowledged
+        // writes permanently lost on both sides).
         if (done)
             done();
         return;
@@ -604,6 +611,26 @@ SimCluster::migrationStep()
             // in flight at lock time) committed and re-dirtied keys.
             m.pending.swap(m.dirty);
         } else if (m.lockedWaitSteps >= kMaxLockedWaitSteps) {
+            bool source_up = false;
+            for (NodeId n : shardMap_.nodesOf(m.from)) {
+                if (!runtime_->alive(n))
+                    continue;
+                proto::HermesReplica *h = replicas_[n]->hermes();
+                if (h && h->isShadow())
+                    continue;
+                source_up = true;
+                break;
+            }
+            if (!source_up) {
+                // The whole source group is down (or still mid-catch-up
+                // as shadows): nothing can be read, re-copied or
+                // verified, and cutting over would strand every
+                // uncopied acknowledged write behind the post-cutover
+                // WAL recovery filter. Abort — ownership stays with the
+                // source, whose WALs hold the complete data.
+                abortMigration();
+                return;
+            }
             // Bounded wait expired: a crashed replica's fence will
             // never land, or a key is wedged non-Valid (its VAL lost
             // AND its coordinator dead — healed later by a replay).
@@ -669,8 +696,15 @@ SimCluster::migrationQuiesced()
             continue;
         sources.push_back(n);
     }
-    if (sources.empty())
-        return true; // source group gone; nothing more can commit there
+    if (sources.empty()) {
+        // No operational source replica: nothing can be read, verified
+        // or healed, so the scan can prove NOTHING about the destination
+        // holding every acknowledged write — pre-migration commits may
+        // exist only in the source WALs, which the post-cutover recovery
+        // filter would skip. Never quiesced; the bounded Locked-phase
+        // wait aborts the migration if the group stays down.
+        return false;
+    }
 
     // Every key currently in a moving slot, on any operational source
     // replica — a fresh manifest, because writes before the lock may
@@ -749,6 +783,33 @@ SimCluster::finishMigration()
         NodeId node = liveNodeOfShard(to, 0);
         if (node == kInvalidNode)
             continue; // dest group down: op stays pending, legal
+        if (p.isCas) {
+            cas(node, p.key, std::move(p.expected), std::move(p.value),
+                std::move(p.ccb));
+        } else {
+            write(node, p.key, std::move(p.value), std::move(p.wcb));
+        }
+    }
+}
+
+void
+SimCluster::abortMigration()
+{
+    Migration &m = *migration_;
+    ++migrationsAborted_;
+
+    // Ownership never moved — the map, the WAL recovery filter and the
+    // routing all still answer the source. Parked ops are resubmitted
+    // there: with the migration gone they apply normally. A fully-down
+    // source group has no live node to take them; those ops simply stay
+    // pending, which is legal — none of them was ever acknowledged.
+    std::vector<Migration::Parked> parked = std::move(m.parked);
+    uint32_t from = m.from;
+    migration_.reset();
+    for (Migration::Parked &p : parked) {
+        NodeId node = liveNodeOfShard(from, 0);
+        if (node == kInvalidNode)
+            continue;
         if (p.isCas) {
             cas(node, p.key, std::move(p.expected), std::move(p.value),
                 std::move(p.ccb));

@@ -215,9 +215,12 @@ class SimCluster
      * resubmitting the parked writes to the destination. Writes whose
      * protocol commit straddles the cutover are forwarded to the new
      * owner before their acknowledgement fires, so no acknowledged
-     * write is ever lost. Runs as scheduled events: advance the sim
-     * (runFor) until migrationActive() clears. Slots not owned by
-     * @p from are ignored; one migration at a time.
+     * write is ever lost. If every source replica is lost mid-move the
+     * migration ABORTS instead of cutting over (see abortMigration) —
+     * ownership, and with it the WAL recovery filter, stays at the
+     * source. Runs as scheduled events: advance the sim (runFor) until
+     * migrationActive() clears. Slots not owned by @p from are ignored;
+     * one migration at a time.
      */
     void migrateSlots(std::vector<uint32_t> slots, uint32_t from,
                       uint32_t to);
@@ -232,6 +235,8 @@ class SimCluster
     bool migrationActive() const { return migration_ != nullptr; }
     uint64_t slotsMigrated() const { return slotsMigrated_; }
     uint64_t migrationsCompleted() const { return migrationsCompleted_; }
+    /** Migrations abandoned without a cutover (source group lost). */
+    uint64_t migrationsAborted() const { return migrationsAborted_; }
     /** Writes parked at the migration lock across all migrations. */
     uint64_t migrationWritesParked() const { return writesParked_; }
 
@@ -277,6 +282,15 @@ class SimCluster
     void migrationStep();
     void finishMigration();
 
+    /**
+     * Abandon the migration without moving ownership: the map stays at
+     * its epoch, parked ops are resubmitted to the (still-owning)
+     * source. Taken when the Locked-phase wait expires with no
+     * operational source replica left — cutover would strand every
+     * uncopied acknowledged write behind the recovery ownership filter.
+     */
+    void abortMigration();
+
     /** Fence every live source replica's job queue (see Migration). */
     void issueMigrationFences();
 
@@ -309,6 +323,7 @@ class SimCluster
     uint64_t migrationGen_ = 0;
     uint64_t slotsMigrated_ = 0;
     uint64_t migrationsCompleted_ = 0;
+    uint64_t migrationsAborted_ = 0;
     uint64_t writesParked_ = 0;
 };
 

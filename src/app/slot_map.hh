@@ -30,11 +30,15 @@ namespace hermes::app
 {
 
 /**
- * Fixed slot universe. 1024 divides evenly by every shard count the
- * deployments use (1..8), which makes the uniform map's owner
- * assignment `slot % S` coincide exactly with the legacy
- * `splitmix64(key) % S` placement — pre-slot-map deployments, recorded
- * histories and corpus digests carry over unchanged.
+ * Fixed slot universe. 1024 is a power of two, so for POWER-OF-TWO
+ * shard counts (S | 1024, i.e. 1, 2, 4, 8, …) the uniform map's owner
+ * assignment `slot % S` coincides exactly with the legacy
+ * `splitmix64(key) % S` placement — the recorded histories and corpus
+ * digests, all of which use such counts, carry over unchanged. For any
+ * other S (3, 5, 6, 7, …) the two placements differ on the keys in the
+ * trailing `1024 % S` slots; that is harmless — every router goes
+ * through the same slotOfKey → owner table — but it is a different
+ * placement than pre-slot-map `hash % S` deployments used.
  */
 constexpr uint32_t kNumSlots = 1024;
 

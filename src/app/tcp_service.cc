@@ -337,6 +337,29 @@ TcpKvService::finishMigration(const SlotMap &map, ShardAddressMap ports)
     }
 }
 
+void
+TcpKvService::abortMigration()
+{
+    std::vector<MigrationState::Parked> parked;
+    {
+        std::lock_guard<std::mutex> guard(mapMutex_);
+        if (!migration_)
+            return;
+        parked = std::move(migration_->parked);
+        migration_.reset();
+    }
+    // The map never changed, so each parked op re-enters the normal
+    // request path and serves at this group — with the interception
+    // state gone it is neither tracked nor re-parked.
+    for (const MigrationState::Parked &p : parked) {
+        if (!cluster_.running(p.node))
+            continue; // its client lost the socket anyway
+        cluster_.runOn(p.node, [&] {
+            handleClientFrame(p.node, p.conn, p.msg);
+        });
+    }
+}
+
 bool
 TcpKvService::replicaIsShadow(NodeId id)
 {
@@ -391,14 +414,21 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
         return;
     }
 
-    auto rejectWrongShard = [&] {
+    // @p as: the map generation the rejection advertises — the snapshot
+    // for the ordinary stale-client cases, the LIVE map when a cutover
+    // raced this request (the snapshot would re-teach the client the very
+    // routing the cutover just retired).
+    auto rejectWrongShard = [&](const std::shared_ptr<const SlotMap> &as) {
         ClientReplyMsg reply;
         reply.reqId = req_id;
         reply.shard = shard;
         reply.ok = false;
         reply.status = ClientReplyMsg::Status::WrongShard;
-        stampMap(reply);
-        advertise(reply);
+        reply.mapShards = as->numShards;
+        reply.mapShard = shardId_;
+        reply.mapEpoch = as->epoch;
+        reply.mapPorts = advertisedMap();
+        reply.slotOwners = as->owner;
         cluster_.replyToClient(node, conn, reply);
     };
 
@@ -410,7 +440,7 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     // OLDER epoch is not by itself a rejection: if the stamped owner
     // still matches below, the slot did not move and the op is served.
     if (request.mapEpoch > map->epoch) {
-        rejectWrongShard();
+        rejectWrongShard(map);
         return;
     }
 
@@ -427,7 +457,7 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     // split history.
     if (request.numShards != map->numShards || shard != shardId_
             || map->ownerOf(request.key) != shardId_) {
-        rejectWrongShard();
+        rejectWrongShard(map);
         return;
     }
 
@@ -438,10 +468,24 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
     // migration locks, EVERY op on a moving slot parks; the cutover
     // answers it with WrongShard + the successor map.
     bool tracked = false;
+    bool cutoverRaced = false;
     uint64_t gen = 0;
     {
         std::lock_guard<std::mutex> guard(mapMutex_);
-        if (migration_ && migration_->moving[slotOfKey(request.key)]) {
+        // Re-validate under the SAME lock the cutover swaps the map and
+        // clears the migration under: the ownership check above ran
+        // against a lock-free snapshot, and finishMigration() may have
+        // installed the successor map since — in which case migration_
+        // is already null and the stale snapshot would wave this op
+        // through to execute (and acknowledge) at the OLD owner while
+        // readers route to the new one: a silently lost write. Epoch
+        // equality plus live-map ownership here makes the ownership and
+        // migration checks one atomic decision.
+        if (slotMap_->epoch != map->epoch
+                || slotMap_->ownerOf(request.key) != shardId_) {
+            cutoverRaced = true;
+        } else if (migration_
+                   && migration_->moving[slotOfKey(request.key)]) {
             if (migration_->locked) {
                 migration_->parked.push_back({node, conn, msg});
                 return;
@@ -453,6 +497,10 @@ TcpKvService::handleClientFrame(NodeId node, net::ClientConnId conn,
                 gen = migration_->gen;
             }
         }
+    }
+    if (cutoverRaced) {
+        rejectWrongShard(slotMap());
+        return;
     }
     // Commit-completion hook for tracked ops: re-dirty the key (its
     // committed value postdates whatever the transfer copied) and
@@ -766,8 +814,17 @@ ShardedTcpDeployment::migrateSlots(std::vector<uint32_t> slots,
         copyKeys(stale, from, to, copied);
         if (dirty.empty() && stale.empty())
             break;
-        if (std::chrono::steady_clock::now() > verify_deadline)
-            break; // best effort under a pathological fault schedule
+        if (std::chrono::steady_clock::now() > verify_deadline) {
+            // A pathological fault schedule kept keys dirty or
+            // non-Valid past the deadline: the destination is not
+            // proven to hold every acknowledged write, and cutting
+            // over anyway could silently lose one. Abort — ownership
+            // stays at the source (whose data is complete by
+            // definition), parked ops are served there, and the caller
+            // may retry the move once the group heals.
+            src.abortMigration();
+            return 0;
+        }
         std::this_thread::sleep_for(std::chrono::microseconds(500));
     }
 

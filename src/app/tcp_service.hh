@@ -128,6 +128,17 @@ class TcpKvService
     void finishMigration(const SlotMap &map, ShardAddressMap ports);
 
     /**
+     * Abandon the migration WITHOUT moving ownership: drop the
+     * interception state (map and epoch untouched) and run every parked
+     * op through the normal request path — this group still owns the
+     * slots, so they serve here as if the migration never started. The
+     * coordinator calls this when the cutover verification cannot prove
+     * the destination holds every acknowledged write; keeping the old
+     * map is the safe degraded outcome.
+     */
+    void abortMigration();
+
+    /**
      * Serializes admin choreography against each other: restartReplica
      * and the deployment's migration coordinator both hold this while
      * touching replica handles from outside their loops, so a crash-
@@ -250,7 +261,11 @@ class ShardedTcpDeployment
      * exactly the last-copied timestamp (re-copying stragglers until it
      * holds). Cutover installs the epoch+1 map destination-first and
      * answers parked ops with WrongShard + that map, which the client
-     * reroute loop turns into a retry at the new owner. Safe to run
+     * reroute loop turns into a retry at the new owner. If verification
+     * cannot prove the transfer complete within its deadline (a fault
+     * schedule keeping keys dirty or non-Valid), the migration ABORTS:
+     * ownership never moves, parked ops are served at the source, and 0
+     * is returned — never a cutover with unverified keys. Safe to run
      * against concurrent restartReplica on either group. Slots not
      * owned by @p from are ignored. @return slots actually moved.
      */

@@ -8,8 +8,15 @@
  * here before the acknowledgement that makes it visible can leave the
  * node, following the replicate-and-persist-before-replying contract.
  *
- * Record format, frozen by the golden-bytes test (explicit little-endian,
- * same discipline as the wire format in common/serialize.hh):
+ * On-disk format, frozen by the golden-bytes test (explicit
+ * little-endian, same discipline as the wire format in
+ * common/serialize.hh). The file opens with an 8-byte header:
+ *
+ *     offset  size  field
+ *     0       u32   magic "HWAL" (0x4C415748 when loaded LE)
+ *     4       u32   format version (kFormatVersion)
+ *
+ * followed by records:
  *
  *     offset  size  field
  *     0       u32   payload length (= 29 + value length)
@@ -22,6 +29,16 @@
  *     29      u32   slot-map epoch at append    │
  *     33      u32   value length                │
  *     37      ...   value bytes                ─┘
+ *
+ * Versioning: the record payload grew from 25 to 29 bytes when the
+ * slot-map epoch stamp landed (format version 2) — a version-1 scanner
+ * would misparse every v2 record at the value_len check and discard the
+ * whole log as a torn tail. The header makes that impossible: a log
+ * written by a DIFFERENT format version is refused loudly (panic) rather
+ * than silently truncated, and a headerless v1 log (the only released
+ * earlier format) is recognized by its missing magic, decoded with the
+ * v1 layout, and rewritten in the current format at open — pre-upgrade
+ * durable data survives the upgrade instead of vanishing on restart.
  *
  * The slot-map epoch stamp is what makes recovery elastic-sharding
  * aware: a record appended before a migration cutover may describe a
@@ -158,6 +175,12 @@ class KeyLockTable
 class Wal
 {
   public:
+    /** File-header magic, "HWAL" loaded little-endian. */
+    static constexpr uint32_t kFileMagic = 0x4C415748u;
+    /** On-disk format version this build writes (and reads natively). */
+    static constexpr uint32_t kFormatVersion = 2;
+    /** File header size: magic word + format-version word. */
+    static constexpr size_t kFileHeaderBytes = 8;
     /** Fixed payload bytes before the value (shard..valueLen fields). */
     static constexpr size_t kPayloadHeaderBytes = 29;
     /** Record framing overhead (length prefix + CRC word). */
@@ -213,17 +236,30 @@ class Wal
         std::vector<WalRecord> records;
         size_t cleanBytes = 0; ///< prefix ending at the last good record
         size_t tornBytes = 0;  ///< discarded tail (0 for a clean log)
+        /** Format the log was written in: kFormatVersion for a current
+         *  (or missing/empty) log, 1 for a headerless legacy log whose
+         *  records were decoded with the v1 layout. The constructor
+         *  rewrites a version-1 log in the current format. */
+        uint32_t formatVersion = kFormatVersion;
     };
 
     /**
      * Decode every intact record of the log at @p path, stopping at the
      * first truncated, length-corrupt or CRC-failing one. A missing file
-     * scans as empty — a replica's first boot has no log. Never throws,
-     * never crashes on garbage: torn tails are data, not bugs.
+     * scans as empty — a replica's first boot has no log. Torn tails
+     * (including a file cut inside the header) are data, not bugs: they
+     * are discarded, never thrown on. A file whose header announces a
+     * DIFFERENT format version, or that matches no known format at all,
+     * is an operator error and panics loudly — silently treating a
+     * format mismatch as a torn tail would discard the entire log.
      */
     static ScanResult scan(const std::string &path);
 
   private:
+    /** Frame one record into the group-commit queue. */
+    void encodeRecord(uint32_t shard, Key key, Timestamp ts, uint8_t flags,
+                      uint32_t map_epoch, const ValueRef &value);
+    void writeFileHeader();
     void writeQueued();
     void fsyncNow();
 

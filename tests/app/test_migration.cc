@@ -211,6 +211,44 @@ TEST(LiveMigration, WritesRacingTheMoveParkAtTheLockAndNoneAreLost)
     EXPECT_TRUE(cluster.converged(hot));
 }
 
+TEST(LiveMigration, SourceGroupDownAbortsInsteadOfCuttingOver)
+{
+    // Every source replica crash-stops mid-move. Nothing can be read,
+    // re-copied or verified, so cutting over would strand every uncopied
+    // acknowledged write behind the post-cutover WAL recovery filter.
+    // The only safe outcome is an ABORT: ownership stays with the
+    // source, the map never advances.
+    SimCluster cluster(test::shardedConfig(Protocol::Hermes, 2, 3));
+    cluster.start();
+
+    for (Key key = 0; key < 100; ++key) {
+        ASSERT_TRUE(cluster.writeSync(cluster.routeNode(key), key,
+                                      "v" + std::to_string(key)));
+    }
+
+    std::vector<uint32_t> all = cluster.slotMap().slotsOwnedBy(0);
+    std::vector<uint32_t> moving(all.begin(), all.begin() + all.size() / 2);
+    cluster.migrateSlots(moving, 0, 1);
+    ASSERT_TRUE(cluster.migrationActive());
+
+    for (NodeId n : cluster.shardMap().nodesOf(0))
+        cluster.crash(n);
+
+    // The Locked phase waits its bounded kMaxLockedWaitSteps, finds no
+    // operational source, and aborts (well inside this budget).
+    for (int i = 0; i < 200 && cluster.migrationActive(); ++i)
+        cluster.runFor(1_ms);
+
+    EXPECT_FALSE(cluster.migrationActive());
+    EXPECT_EQ(cluster.migrationsAborted(), 1u);
+    EXPECT_EQ(cluster.migrationsCompleted(), 0u);
+    EXPECT_EQ(cluster.slotsMigrated(), 0u);
+    // Ownership never moved: same epoch, every slot still at the source.
+    EXPECT_EQ(cluster.slotMap().epoch, 1u);
+    for (uint32_t slot : moving)
+        EXPECT_EQ(cluster.slotMap().ownerOfSlot(slot), 0u);
+}
+
 // ---------------------------------------------------------------------
 // Crash-fault matrix across the move
 // ---------------------------------------------------------------------

@@ -191,6 +191,59 @@ TEST(ElasticTcp, LiveMigrationMovesDataAndBumpsEpoch)
               "post-" + std::to_string(moved_key));
 }
 
+TEST(ElasticTcp, AbortedMigrationServesParkedOpsAtTheSource)
+{
+    // The safe degraded outcome when cutover verification cannot pass:
+    // abortMigration drops the interception state WITHOUT moving
+    // ownership, and every op parked at the lock re-enters the normal
+    // request path — acknowledged at the SOURCE, which still owns the
+    // slots, under the unchanged epoch-1 map.
+    net::TcpConfig config;
+    config.basePort = kBasePort + 240;
+    ShardedTcpDeployment deployment(Protocol::Hermes, 2, 3, tcpOptions(),
+                                    config);
+    deployment.start();
+
+    std::vector<uint32_t> moving =
+        slotsOwnedPrefix(deployment.slotMap(), 0, 64);
+    Key moved_key = keyInSlots(moving);
+
+    KvClient client(deployment.portOf(0, 0));
+    ASSERT_TRUE(client.connected());
+    ASSERT_TRUE(client.write(moved_key, "pre"));
+
+    // Arm and lock the source group's interception directly (the
+    // coordinator's part of a move that will fail verification).
+    deployment.shard(0).beginMigration(moving);
+    deployment.shard(0).lockMigration();
+
+    // A write on a locked moving slot parks: it must NOT complete until
+    // the abort releases it.
+    std::atomic<bool> done{false};
+    std::atomic<bool> ok{false};
+    std::thread writer([&] {
+        KvClient parked(deployment.portOf(0, 1));
+        ok = parked.connected() && parked.write(moved_key, "parked");
+        done = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    EXPECT_FALSE(done) << "locked-slot write was not parked";
+
+    deployment.shard(0).abortMigration();
+    writer.join();
+    EXPECT_TRUE(ok) << "parked write was not acknowledged after abort";
+
+    // Ownership never moved: same epoch, the source serves the parked
+    // write's value, and a fresh client still routes the key to shard 0.
+    EXPECT_EQ(deployment.slotMap().epoch, 1u);
+    EXPECT_EQ(client.read(moved_key).value_or("?"), "parked");
+    KvClient fresh(deployment.portOf(1, 0));
+    ASSERT_TRUE(fresh.connected());
+    EXPECT_EQ(fresh.mapEpoch(), 1u);
+    EXPECT_EQ(fresh.routedShard(moved_key), 0u);
+    EXPECT_EQ(fresh.read(moved_key).value_or("?"), "parked");
+}
+
 TEST(ElasticTcp, FutureEpochStampRejectedBeforeIndexing)
 {
     // THE service-side bugfix case: a raw client stamping a map epoch

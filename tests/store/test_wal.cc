@@ -55,6 +55,19 @@ putLe64(std::vector<unsigned char> &out, uint64_t v)
         out.push_back(static_cast<unsigned char>(v >> (8 * i)));
 }
 
+/** The frozen 8-byte file header: magic "HWAL" + format version. */
+std::vector<unsigned char>
+fileHeader(uint32_t version = Wal::kFormatVersion)
+{
+    std::vector<unsigned char> out;
+    out.push_back('H');
+    out.push_back('W');
+    out.push_back('A');
+    out.push_back('L');
+    putLe32(out, version);
+    return out;
+}
+
 /** The frozen on-disk encoding of one record, built by hand. */
 std::vector<unsigned char>
 encodeRecord(uint32_t shard, Key key, Timestamp ts, uint8_t flags,
@@ -115,21 +128,27 @@ TEST(WalFormat, GoldenBytesFreezeRecordLayout)
         wal.append(0x1122334455667788ull, Timestamp{7, 3}, 0x01,
                    ValueRef("hello"));
     }
-    std::vector<unsigned char> expect =
+    std::vector<unsigned char> expect = fileHeader();
+    std::vector<unsigned char> record =
         encodeRecord(2, 0x1122334455667788ull, Timestamp{7, 3}, 0x01,
                      "hello");
-    // Spot-check the literal layout too, so the helper can't drift in
-    // lockstep with the implementation: 34-byte payload, then the
-    // key bytes little-endian at payload offset 4. (The payload grew
-    // from 30 to 34 bytes when the slot-map epoch stamp landed at
-    // payload offset 21 — a deliberate, versioned format change.)
-    ASSERT_EQ(expect.size(), Wal::kFrameHeaderBytes
+    expect.insert(expect.end(), record.begin(), record.end());
+    // Spot-check the literal layout too, so the helpers can't drift in
+    // lockstep with the implementation: the "HWAL"+version file header,
+    // then a 34-byte payload with the key bytes little-endian at payload
+    // offset 4. (The payload grew from 30 to 34 bytes when the slot-map
+    // epoch stamp landed at payload offset 21 — the change that bumped
+    // the file header's format version to 2.)
+    ASSERT_EQ(expect.size(), Wal::kFileHeaderBytes + Wal::kFrameHeaderBytes
                                  + Wal::kPayloadHeaderBytes + 5);
-    EXPECT_EQ(expect[0], 34u); // payloadLen LSB = 29 + strlen("hello")
-    EXPECT_EQ(expect[8], 2u);  // shard LSB right after the CRC word
-    EXPECT_EQ(expect[12], 0x88u); // key LSB, little-endian
-    EXPECT_EQ(expect[19], 0x11u); // key MSB
-    EXPECT_EQ(expect[29], 1u); // slot-map epoch LSB at payload offset 21
+    EXPECT_EQ(expect[0], 'H'); // file magic
+    EXPECT_EQ(expect[3], 'L');
+    EXPECT_EQ(expect[4], 2u);  // format version, little-endian
+    EXPECT_EQ(expect[8], 34u); // payloadLen LSB = 29 + strlen("hello")
+    EXPECT_EQ(expect[16], 2u); // shard LSB right after the CRC word
+    EXPECT_EQ(expect[20], 0x88u); // key LSB, little-endian
+    EXPECT_EQ(expect[27], 0x11u); // key MSB
+    EXPECT_EQ(expect[37], 1u); // slot-map epoch LSB at payload offset 21
     EXPECT_EQ(fileBytes(path), expect);
 }
 
@@ -185,7 +204,8 @@ class WalTornTail : public ::testing::Test
         wal.append(2, Timestamp{2, 0}, 0, ValueRef("second"));
         wal.append(3, Timestamp{3, 0}, 0, ValueRef("final-record"));
         clean_ = fileBytes(path_);
-        prefix2_ = 2 * (Wal::kFrameHeaderBytes + Wal::kPayloadHeaderBytes)
+        prefix2_ = Wal::kFileHeaderBytes
+                   + 2 * (Wal::kFrameHeaderBytes + Wal::kPayloadHeaderBytes)
                    + strlen("first") + strlen("second");
         ASSERT_EQ(clean_.size(), prefix2_ + Wal::kFrameHeaderBytes
                                      + Wal::kPayloadHeaderBytes
@@ -244,12 +264,13 @@ TEST_F(WalTornTail, CorruptFirstRecordRecoversNothing)
     // unreachable (its framing can't be trusted), so corruption at the
     // head forfeits the whole log — by design, loudly countable.
     std::vector<unsigned char> corrupt = clean_;
-    corrupt[Wal::kFrameHeaderBytes] ^= 0xFF; // first record's shard byte
+    // First record's shard byte (just past the file header + frame).
+    corrupt[Wal::kFileHeaderBytes + Wal::kFrameHeaderBytes] ^= 0xFF;
     writeBytes(path_, corrupt);
     Wal::ScanResult result = Wal::scan(path_);
     EXPECT_EQ(result.records.size(), 0u);
-    EXPECT_EQ(result.cleanBytes, 0u);
-    EXPECT_EQ(result.tornBytes, clean_.size());
+    EXPECT_EQ(result.cleanBytes, Wal::kFileHeaderBytes);
+    EXPECT_EQ(result.tornBytes, clean_.size() - Wal::kFileHeaderBytes);
 }
 
 TEST_F(WalTornTail, AbsurdLengthPrefixDiscardsTail)
@@ -304,6 +325,138 @@ TEST(WalScan, MissingFileScansEmpty)
 }
 
 // ---------------------------------------------------------------------
+// File-format versioning and upgrade
+// ---------------------------------------------------------------------
+
+/** The headerless version-1 record encoding: a 25-byte payload header
+ *  with no slot-map epoch field (it predates elastic sharding). */
+std::vector<unsigned char>
+encodeRecordV1(uint32_t shard, Key key, Timestamp ts, uint8_t flags,
+               std::string_view value)
+{
+    std::vector<unsigned char> payload;
+    putLe32(payload, shard);
+    putLe64(payload, key);
+    putLe32(payload, ts.version);
+    putLe32(payload, ts.cid);
+    payload.push_back(flags);
+    putLe32(payload, static_cast<uint32_t>(value.size()));
+    payload.insert(payload.end(), value.begin(), value.end());
+
+    std::vector<unsigned char> out;
+    putLe32(out, static_cast<uint32_t>(payload.size()));
+    putLe32(out, crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    return out;
+}
+
+TEST(WalVersioning, V1LogConvertsOnOpen)
+{
+    // A pre-upgrade headerless log must survive the upgrade: its records
+    // are recovered (with the initial map epoch, 1 — v1 predates elastic
+    // sharding) and the file is rewritten in the current format, so a
+    // restart never silently discards durable pre-upgrade data.
+    TempDir dir("wal-v1");
+    const std::string path = dir.file("legacy.wal");
+    std::vector<unsigned char> v1;
+    for (const std::vector<unsigned char> &rec :
+         {encodeRecordV1(3, 41, Timestamp{5, 1}, 0x01, "legacy-one"),
+          encodeRecordV1(3, 42, Timestamp{6, 2}, 0, "legacy-two")})
+        v1.insert(v1.end(), rec.begin(), rec.end());
+    writeBytes(path, v1);
+
+    Wal::ScanResult before = Wal::scan(path);
+    EXPECT_EQ(before.formatVersion, 1u);
+    ASSERT_EQ(before.records.size(), 2u);
+
+    {
+        WalConfig config;
+        config.path = path;
+        config.fsync = FsyncPolicy::Every;
+        config.shard = 3;
+        Wal wal(config);
+        ASSERT_EQ(wal.recovered().size(), 2u);
+        EXPECT_EQ(wal.recovered()[0].key, 41u);
+        EXPECT_EQ(wal.recovered()[0].value, "legacy-one");
+        EXPECT_EQ(wal.recovered()[0].mapEpoch, 1u);
+        EXPECT_EQ(wal.recovered()[1].key, 42u);
+        EXPECT_EQ(wal.recovered()[1].mapEpoch, 1u);
+        wal.clearRecovered();
+        // Appends after the conversion land in the same (now v2) file.
+        wal.append(43, Timestamp{7, 0}, 0, ValueRef("post-upgrade"));
+    }
+
+    Wal::ScanResult after = Wal::scan(path);
+    EXPECT_EQ(after.formatVersion, Wal::kFormatVersion);
+    ASSERT_EQ(after.records.size(), 3u);
+    EXPECT_EQ(after.records[0].key, 41u);
+    EXPECT_EQ(after.records[0].value, "legacy-one");
+    EXPECT_EQ(after.records[0].ts, (Timestamp{5, 1}));
+    EXPECT_EQ(after.records[0].flags, 0x01u);
+    EXPECT_EQ(after.records[0].mapEpoch, 1u);
+    EXPECT_EQ(after.records[2].key, 43u);
+    EXPECT_EQ(after.records[2].value, "post-upgrade");
+    EXPECT_EQ(after.tornBytes, 0u);
+    // The converted file leads with the current header.
+    std::vector<unsigned char> bytes = fileBytes(path);
+    ASSERT_GE(bytes.size(), Wal::kFileHeaderBytes);
+    EXPECT_EQ(std::vector<unsigned char>(
+                  bytes.begin(), bytes.begin() + Wal::kFileHeaderBytes),
+              fileHeader());
+}
+
+TEST(WalVersioning, TornFileHeaderTruncatesAndAppendsCleanly)
+{
+    // A crash during file creation can leave fewer than kFileHeaderBytes
+    // on disk: that is a torn tail (no record fits in fewer bytes under
+    // any format), not an unknown format — recover nothing, truncate,
+    // start fresh.
+    TempDir dir("wal-torn-header");
+    const std::string path = dir.file("torn-header.wal");
+    std::vector<unsigned char> partial = fileHeader();
+    partial.resize(5);
+    writeBytes(path, partial);
+
+    Wal::ScanResult result = Wal::scan(path);
+    EXPECT_TRUE(result.records.empty());
+    EXPECT_EQ(result.cleanBytes, 0u);
+    EXPECT_EQ(result.tornBytes, 5u);
+
+    {
+        WalConfig config;
+        config.path = path;
+        config.fsync = FsyncPolicy::Every;
+        Wal wal(config);
+        EXPECT_TRUE(wal.recovered().empty());
+        wal.append(1, Timestamp{1, 0}, 0, ValueRef("fresh"));
+    }
+    Wal::ScanResult reopened = Wal::scan(path);
+    ASSERT_EQ(reopened.records.size(), 1u);
+    EXPECT_EQ(reopened.records[0].value, "fresh");
+    EXPECT_EQ(reopened.tornBytes, 0u);
+}
+
+TEST(WalVersioningDeathTest, FutureVersionRefusedLoudly)
+{
+    // A log written by a NEWER build is not corruption: scanning it as a
+    // torn tail would discard every record. It must refuse loudly.
+    TempDir dir("wal-future");
+    const std::string path = dir.file("future.wal");
+    writeBytes(path, fileHeader(Wal::kFormatVersion + 1));
+    EXPECT_DEATH(Wal::scan(path), "format version");
+}
+
+TEST(WalVersioningDeathTest, UnrecognizedFileRefusedLoudly)
+{
+    // No header magic and no v1 record at the head: whatever this file
+    // is, truncating it to nothing would silently destroy it.
+    TempDir dir("wal-garbage");
+    const std::string path = dir.file("garbage.wal");
+    writeBytes(path, std::vector<unsigned char>(16, 0xFF));
+    EXPECT_DEATH(Wal::scan(path), "no known WAL format");
+}
+
+// ---------------------------------------------------------------------
 // Fsync policies and group commit
 // ---------------------------------------------------------------------
 
@@ -318,7 +471,8 @@ TEST(WalPolicy, GroupCommitQueuesUntilFlush)
     wal.append(1, Timestamp{1, 0}, 0, ValueRef("a"));
     wal.append(2, Timestamp{2, 0}, 0, ValueRef("b"));
     EXPECT_GT(wal.pendingBytes(), 0u);
-    EXPECT_TRUE(fileBytes(path).empty()); // nothing written yet
+    // Only the eagerly-written file header is on disk; no records yet.
+    EXPECT_EQ(fileBytes(path).size(), Wal::kFileHeaderBytes);
     wal.flush();
     EXPECT_EQ(wal.pendingBytes(), 0u);
     EXPECT_EQ(Wal::scan(path).records.size(), 2u);
